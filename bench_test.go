@@ -1,0 +1,237 @@
+package mpinet
+
+// One benchmark per figure and table of the paper's evaluation: each
+// regenerates its experiment on the simulated testbeds and reports the
+// headline value(s) as custom metrics. `go test -bench=. -benchmem` is the
+// full reproduction sweep; cmd/paperrepro renders the same data as a
+// document.
+
+import (
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/experiments"
+	"mpinet/internal/microbench"
+	"mpinet/internal/units"
+)
+
+// sharedRunner caches application runs across benchmarks (Table 2 feeds the
+// speedup figures, for example), exactly as cmd/paperrepro does.
+var sharedRunner = experiments.NewRunner(false, nil)
+
+func BenchmarkFig01Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig1()
+		b.ReportMetric(f.Curves[0].Y[0], "IBA-4B-us")
+		b.ReportMetric(f.Curves[2].Y[0], "QSN-4B-us")
+	}
+}
+
+func BenchmarkFig02Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig2()
+		last := len(f.Curves[1].Y) - 1
+		b.ReportMetric(f.Curves[1].Y[last], "IBA-peak-MBs")
+	}
+}
+
+func BenchmarkFig03Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig3()
+		b.ReportMetric(f.Curves[0].Y[0], "IBA-us")
+	}
+}
+
+func BenchmarkFig04BiLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig4()
+		b.ReportMetric(f.Curves[1].Y[0], "Myri-4B-us")
+	}
+}
+
+func BenchmarkFig05BiBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig5()
+		last := len(f.Curves[0].Y) - 1
+		b.ReportMetric(f.Curves[0].Y[last], "IBA-1M-MBs")
+	}
+}
+
+func BenchmarkFig06Overlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig6()
+		last := len(f.Curves[2].Y) - 1
+		b.ReportMetric(f.Curves[2].Y[last], "QSN-64K-us")
+	}
+}
+
+func BenchmarkFig07ReuseLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig7()
+		b.ReportMetric(f.Curves[0].Y[len(f.Curves[0].Y)-1], "IBA-0pct-16K-us")
+	}
+}
+
+func BenchmarkFig08ReuseBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig8()
+		b.ReportMetric(f.Curves[0].Y[len(f.Curves[0].Y)-1], "IBA-0pct-64K-MBs")
+	}
+}
+
+func BenchmarkFig09IntraLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig9()
+		b.ReportMetric(f.Curves[1].Y[0], "Myri-4B-us")
+	}
+}
+
+func BenchmarkFig10IntraBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig10()
+		last := len(f.Curves[0].Y) - 1
+		b.ReportMetric(f.Curves[0].Y[last], "IBA-1M-MBs")
+	}
+}
+
+func BenchmarkFig11Alltoall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig11()
+		b.ReportMetric(f.Curves[2].Y[0], "QSN-4B-us")
+	}
+}
+
+func BenchmarkFig12Allreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig12()
+		b.ReportMetric(f.Curves[2].Y[0], "QSN-4B-us")
+	}
+}
+
+func BenchmarkFig13Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig13()
+		last := len(f.Curves[0].Y) - 1
+		b.ReportMetric(f.Curves[0].Y[last], "IBA-8n-MB")
+	}
+}
+
+func BenchmarkFig14to17Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sharedRunner.Figs14to17()
+		b.ReportMetric(float64(len(t.Rows)), "apps")
+	}
+}
+
+func BenchmarkTab1MsgSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sharedRunner.Tab1()
+		b.ReportMetric(float64(len(t.Rows)), "apps")
+	}
+}
+
+func BenchmarkTab2Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sharedRunner.Tab2()
+		b.ReportMetric(float64(len(t.Rows)), "apps")
+	}
+}
+
+func BenchmarkTab3NonBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Tab3()
+	}
+}
+
+func BenchmarkTab4BufferReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Tab4()
+	}
+}
+
+func BenchmarkTab5Collectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Tab5()
+	}
+}
+
+func BenchmarkTab6IntraNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Tab6()
+	}
+}
+
+func BenchmarkFig18to23Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := sharedRunner.Figs18to23()
+		// CG's superlinear 8-node speedup is the headline.
+		cg := figs[1]
+		b.ReportMetric(cg.Curves[0].Y[len(cg.Curves[0].Y)-1], "CG-IBA-8n-speedup")
+	}
+}
+
+func BenchmarkFig24Topspin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Fig24()
+	}
+}
+
+func BenchmarkFig25SMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Fig25()
+	}
+}
+
+func BenchmarkFig26PCILatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig26()
+		b.ReportMetric(f.Curves[1].Y[0]-f.Curves[0].Y[0], "PCI-penalty-us")
+	}
+}
+
+func BenchmarkFig27PCIBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sharedRunner.Fig27()
+		b.ReportMetric(f.Curves[1].Y[len(f.Curves[1].Y)-1], "PCI-peak-MBs")
+	}
+}
+
+func BenchmarkFig28PCIApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharedRunner.Fig28()
+	}
+}
+
+// Engine-level micro-benchmarks: raw cost of the simulation substrate
+// itself (events, transfers, MPI messages).
+
+func BenchmarkEngineEventDispatch(b *testing.B) {
+	eng := clusterEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(0, func() {})
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func clusterEngine() *Engine {
+	return cluster.IBA().New(2).Engine()
+}
+
+func BenchmarkSimPingPong4B(b *testing.B) {
+	benchPingPong(b, 4)
+}
+
+func BenchmarkSimPingPong64K(b *testing.B) {
+	benchPingPong(b, 64*units.KB)
+}
+
+func benchPingPong(b *testing.B, size int64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := microbench.Latency(cluster.Myri(), []int64{size})
+		_ = c
+	}
+}

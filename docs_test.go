@@ -1,0 +1,90 @@
+package mpinet
+
+// A documentation meta-test: every exported identifier in the module must
+// carry a doc comment. This enforces the repository's API-documentation
+// standard mechanically.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllExportedIdentifiersDocumented(t *testing.T) {
+	var missing []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					missing = append(missing, path+": func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+							missing = append(missing, path+": type "+s.Name.Name)
+						}
+						// Exported struct fields and interface methods.
+						switch tt := s.Type.(type) {
+						case *ast.StructType:
+							for _, fl := range tt.Fields.List {
+								for _, n := range fl.Names {
+									if n.IsExported() && fl.Doc == nil && fl.Comment == nil {
+										missing = append(missing, path+": field "+s.Name.Name+"."+n.Name)
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							for _, m := range tt.Methods.List {
+								for _, n := range m.Names {
+									if n.IsExported() && m.Doc == nil && m.Comment == nil {
+										missing = append(missing, path+": method "+s.Name.Name+"."+n.Name)
+									}
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+								missing = append(missing, path+": value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported identifiers lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,52 @@
+// Scaleout: the question the paper leaves open — how do these results
+// extend beyond one switch? — explored with the fat-tree extension: an
+// InfiniBand cluster built from 24-port elements (16 hosts + 8 up-links per
+// leaf, 2:1 oversubscribed) running the NAS kernels at 16-64 processes.
+//
+//	go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+
+	"mpinet"
+	"mpinet/internal/cluster"
+)
+
+func main() {
+	fmt.Println("== InfiniBand fat-tree scale-out (class B) ==")
+	fmt.Println("16 hosts/leaf, 8 spines, 2:1 oversubscription")
+	fmt.Println()
+	fmt.Printf("%-8s", "app")
+	procs := []int{16, 32, 64}
+	for _, p := range procs {
+		fmt.Printf("%12s", fmt.Sprintf("%d procs", p))
+	}
+	fmt.Printf("%14s\n", "64p efficiency")
+
+	for _, name := range []string{"IS", "CG", "MG", "LU", "FT"} {
+		fmt.Printf("%-8s", name)
+		var t16, t64 float64
+		for _, p := range procs {
+			res, err := mpinet.RunApp(name, cluster.IBAFatTree(p), mpinet.ClassB, p)
+			if err != nil {
+				panic(err)
+			}
+			t := res.Elapsed.Seconds()
+			if p == 16 {
+				t16 = t
+			}
+			if p == 64 {
+				t64 = t
+			}
+			fmt.Printf("%12.2f", t)
+		}
+		// Efficiency relative to the 16-process run.
+		eff := t16 / t64 / 4 * 100
+		fmt.Printf("%13.1f%%\n", eff)
+	}
+
+	fmt.Println("\nAt class B the per-rank compute still dominates, so all kernels keep")
+	fmt.Println("scaling: the 2:1 oversubscription only shows when many leaf-mates")
+	fmt.Println("stream cross-leaf at once (see the fat-tree contention tests).")
+}

@@ -1,0 +1,74 @@
+// Shootout: the cluster-procurement question the paper's introduction
+// poses — which interconnect should an 8-node cluster buy? — answered by
+// running the same micro-benchmarks and a representative application mix on
+// all three fabrics.
+//
+//	go run ./examples/shootout
+package main
+
+import (
+	"fmt"
+
+	"mpinet"
+	"mpinet/internal/units"
+)
+
+func main() {
+	sizes := []int64{4, 256, 4 * units.KB, 64 * units.KB, units.MB}
+
+	fmt.Println("== Latency (us, one-way) ==")
+	fmt.Printf("%-10s", "size")
+	for _, p := range mpinet.Platforms() {
+		fmt.Printf("%10s", p.Name)
+	}
+	fmt.Println()
+	curves := map[string]mpinet.Curve{}
+	for _, p := range mpinet.Platforms() {
+		curves[p.Name] = mpinet.Latency(p, sizes)
+	}
+	for i, s := range sizes {
+		fmt.Printf("%-10s", units.SizeString(s))
+		for _, p := range mpinet.Platforms() {
+			fmt.Printf("%10.2f", curves[p.Name].Y[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Streaming bandwidth (MB/s, window 16) ==")
+	for _, p := range mpinet.Platforms() {
+		bw := mpinet.Bandwidth(p, []int64{units.MB}, 16)
+		fmt.Printf("%-6s %8.0f\n", p.Name, bw.Y[0])
+	}
+
+	fmt.Println("\n== Application mix (class B, 8 nodes; seconds) ==")
+	appNames := []string{"IS", "CG", "LU", "S3D-50"}
+	fmt.Printf("%-10s", "app")
+	for _, p := range mpinet.Platforms() {
+		fmt.Printf("%10s", p.Name)
+	}
+	fmt.Println()
+	totals := map[string]float64{}
+	for _, name := range appNames {
+		fmt.Printf("%-10s", name)
+		for _, p := range mpinet.Platforms() {
+			res, err := mpinet.RunApp(name, p, mpinet.ClassB, 8)
+			if err != nil {
+				panic(err)
+			}
+			t := res.Elapsed.Seconds()
+			totals[p.Name] += t
+			fmt.Printf("%10.2f", t)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "TOTAL")
+	best, bestT := "", 0.0
+	for _, p := range mpinet.Platforms() {
+		fmt.Printf("%10.2f", totals[p.Name])
+		if best == "" || totals[p.Name] < bestT {
+			best, bestT = p.Name, totals[p.Name]
+		}
+	}
+	fmt.Printf("\n\nverdict: %s finishes the mix fastest — the paper's conclusion for\n", best)
+	fmt.Println("bandwidth-heavy workloads on an 8-node cluster.")
+}

@@ -1,0 +1,3 @@
+module mpinet
+
+go 1.22

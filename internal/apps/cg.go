@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"mpinet/internal/memreg"
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// CG is the NAS Conjugate Gradient: an unstructured sparse matrix-vector
+// kernel on a 2D process grid. Each inner iteration reduces partial vectors
+// across the processor row (large messages, halving per stage) and combines
+// scalars pairwise (the <2K flood of Table 1). CG's per-rank working set
+// drops fast with the partition count — the superlinear speedup of
+// Figure 19.
+func CG() *App {
+	return &App{
+		Name:     "CG",
+		MinProcs: 2,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.02}
+			}
+			// Table 2 anchors: 132.26 / 81.64 / 28.68 s. The 2x2 grid at 4
+			// processes is genuinely less cache-friendly (sublinear step)
+			// before the 8-process partition turns superlinear.
+			return calibration{workSeconds: 263,
+				shape: map[int]float64{2: 0.986, 4: 1.2019, 8: 0.8237}}
+		},
+		run: runCG,
+	}
+}
+
+func runCG(r *mpi.Rank, class Class, cal calibration) {
+	p := r.Size()
+	me := r.Rank()
+	na := int64(75000)
+	niter, inner := 75, 25
+	if class == ClassS {
+		na = 1400
+		niter, inner = 3, 5
+	}
+	_, cols := grid2(p)
+
+	transpose := (me + p/2) % p
+	rowBase := me - me%cols
+
+	// Row-reduce message size: calibrated to the ~64 KB average Irecv the
+	// paper's Table 3 reports for CG.
+	exch := na * 32 / (3 * int64(cols))
+	out1, in1 := r.Malloc(exch), r.Malloc(exch)
+	out2, in2 := r.Malloc(exch/2), r.Malloc(exch/2)
+	out3, in3 := r.Malloc(maxI64(exch/4, 8)), r.Malloc(maxI64(exch/4, 8))
+	scal, scalIn := r.Malloc(8), r.Malloc(8)
+
+	// CG's non-blocking large exchange: post the receive, blocking send,
+	// wait — Table 3 shows CG uses Irecv but never Isend.
+	exchange := func(partner, tag int, out, in memreg.Buf) {
+		rr := r.Irecv(in, partner, tag)
+		r.Send(out, partner, tag)
+		r.Wait(rr)
+	}
+
+	perStep := cal.perRankCompute(p) / sim.Time(niter*inner)
+	for it := 0; it < niter; it++ {
+		for s := 0; s < inner; s++ {
+			r.Compute(perStep)
+			// q = A.p partial-vector reduction: transpose exchange plus
+			// halving ring stages across the processor row (CG's 16K-1M
+			// traffic).
+			exchange(transpose, 1, out1, in1)
+			if cols >= 2 {
+				next := rowBase + (me-rowBase+1)%cols
+				prev := rowBase + (me-rowBase-1+cols)%cols
+				rr := r.Irecv(in2, prev, 2)
+				r.Send(out2, next, 2)
+				r.Wait(rr)
+			}
+			if cols >= 4 {
+				next := rowBase + (me-rowBase+2)%cols
+				prev := rowBase + (me-rowBase-2+cols)%cols
+				rr := r.Irecv(in3, prev, 3)
+				r.Send(out3, next, 3)
+				r.Wait(rr)
+			}
+			// Scalar dot-product combines: pairwise small exchanges.
+			for k := 0; k < 4; k++ {
+				partner := me ^ (1 << uint(k%3))
+				if partner < p {
+					exchange(partner, 7+k, scal, scalIn)
+				}
+			}
+		}
+	}
+	// Final residual norms.
+	r.Allreduce(scal)
+	r.Allreduce(scal)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// FT is the NAS 3D FFT kernel: each iteration performs local 1D FFTs and a
+// global transpose — an Alltoall moving this rank's entire slab (tens of MB
+// per call, the >1M entries of Table 1). Purely bandwidth-bound collective
+// traffic; with IS, the workload where InfiniBand's bandwidth advantage
+// shows most.
+func FT() *App {
+	return &App{
+		Name:     "FT",
+		MinProcs: 2,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.04}
+			}
+			// Table 2 anchors: 75.50 / 37.92 s on 4 and 8 IBA nodes (FT does
+			// not fit on 2 nodes in the paper either).
+			return calibration{workSeconds: 292,
+				shape: map[int]float64{4: 0.9234, 8: 0.9611}}
+		},
+		run: runFT,
+	}
+}
+
+func runFT(r *mpi.Rank, class Class, cal calibration) {
+	p := int64(r.Size())
+	// Class B: 512 x 256 x 256 complex grid, 16 bytes per point.
+	total := int64(512) * 256 * 256 * 16
+	iters := 20
+	if class == ClassS {
+		total = 64 * 32 * 32 * 16
+		iters = 3
+	}
+	slab := total / p
+	// The transpose buffer must divide evenly among peers.
+	slab = slab / p * p
+
+	send := r.Malloc(slab)
+	recv := r.Malloc(slab)
+	small := r.Malloc(32)
+
+	perIter := cal.perRankCompute(int(p)) / sim.Time(iters)
+
+	// Setup: parameter broadcasts and two warm-up transposes (the paper's
+	// profile shows 22 alltoalls for 20 iterations).
+	for i := 0; i < 4; i++ {
+		r.Bcast(small, 0)
+	}
+	r.Alltoall(send, recv)
+	r.Alltoall(send, recv)
+
+	for it := 0; it < iters; it++ {
+		r.Compute(perIter)
+		r.Alltoall(send, recv)
+		// Checksum reduction each iteration.
+		r.Allreduce(small)
+	}
+}

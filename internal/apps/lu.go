@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"mpinet/internal/memreg"
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// LU is the NAS LU-decomposition application benchmark: an SSOR solver that
+// sweeps wavefronts of k-planes across a 2D process grid. Each plane moves
+// two tiny boundary messages (the ~2 KB flood that makes LU the paper's
+// most latency-bound workload, 100k+ point-to-point calls per rank), plus a
+// pair of large non-blocking face exchanges per time step. Because almost
+// all messages are small, the paper finds the three interconnects closest
+// on LU.
+func LU() *App {
+	return &App{
+		Name:     "LU",
+		MinProcs: 2,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.05}
+			}
+			// Table 2 anchors: 648.53 / 319.57 / 165.53 s.
+			return calibration{workSeconds: 1293,
+				shape: map[int]float64{2: 0.9929, 4: 0.9678, 8: 0.9824}}
+		},
+		run: runLU,
+	}
+}
+
+func runLU(r *mpi.Rank, class Class, cal calibration) {
+	p := r.Size()
+	me := r.Rank()
+	n := int64(102)
+	itmax := 250
+	if class == ClassS {
+		n = 12
+		itmax = 4
+	}
+	rows, cols := grid2(p)
+	row := me / cols
+	col := me % cols
+
+	nxl := ceilDiv(n, int64(rows)) // x-extent of this rank's block
+	nyl := ceilDiv(n, int64(cols)) // y-extent
+
+	// Wavefront boundary planes: 5 doubles per boundary cell.
+	nsMsg := 5 * nxl * 8 // crosses a row boundary
+	ewMsg := 5 * nyl * 8 // crosses a column boundary
+	nsOut, nsIn := r.Malloc(nsMsg), r.Malloc(nsMsg)
+	ewOut, ewIn := r.Malloc(ewMsg), r.Malloc(ewMsg)
+	// exchange_3 full-face buffers (the ~300 KB Irecvs of Table 3): three
+	// boundary arrays of 5-vectors over a full y-z face east-west, plus the
+	// matching x-z faces north-south.
+	faceMsg := 15 * nyl * n * 8
+	faceOut, faceIn := r.Malloc(faceMsg), r.Malloc(faceMsg)
+	faceNSMsg := 7 * nxl * n * 8
+	faceNSOut, faceNSIn := r.Malloc(faceNSMsg), r.Malloc(faceNSMsg)
+	small := r.Malloc(8)
+
+	north := func() int {
+		if row == 0 {
+			return -1
+		}
+		return me - cols
+	}
+	south := func() int {
+		if row == rows-1 {
+			return -1
+		}
+		return me + cols
+	}
+	west := func() int {
+		if col == 0 {
+			return -1
+		}
+		return me - 1
+	}
+	east := func() int {
+		if col == cols-1 {
+			return -1
+		}
+		return me + 1
+	}
+
+	perPlane := cal.perRankCompute(p) / sim.Time(itmax*2*int(n))
+
+	// Setup broadcasts (grid parameters, as the real code does).
+	for i := 0; i < 8; i++ {
+		r.Bcast(small, 0)
+	}
+
+	for it := 0; it < itmax; it++ {
+		// Lower-triangular sweep: the wavefront enters at the north-west
+		// corner; each k-plane receives upstream boundaries, computes, and
+		// forwards downstream. Blocking receives serialize ranks into the
+		// pipeline the paper (and the LU literature) describes.
+		for k := int64(0); k < n; k++ {
+			if nb := north(); nb >= 0 {
+				r.Recv(nsIn, nb, 100)
+			}
+			if wb := west(); wb >= 0 {
+				r.Recv(ewIn, wb, 101)
+			}
+			r.Compute(perPlane)
+			if sb := south(); sb >= 0 {
+				r.Send(nsOut, sb, 100)
+			}
+			if eb := east(); eb >= 0 {
+				r.Send(ewOut, eb, 101)
+			}
+		}
+		// Upper-triangular sweep: reversed direction.
+		for k := int64(0); k < n; k++ {
+			if sb := south(); sb >= 0 {
+				r.Recv(nsIn, sb, 102)
+			}
+			if eb := east(); eb >= 0 {
+				r.Recv(ewIn, eb, 103)
+			}
+			r.Compute(perPlane)
+			if nb := north(); nb >= 0 {
+				r.Send(nsOut, nb, 102)
+			}
+			if wb := west(); wb >= 0 {
+				r.Send(ewOut, wb, 103)
+			}
+		}
+		// exchange_3: large non-blocking face swaps with the east/west and
+		// north/south neighbors (each exists only off the grid edge).
+		swap := func(out, in memreg.Buf, fwd, back, tag int) {
+			var rr *mpi.Request
+			if back >= 0 {
+				rr = r.Irecv(in, back, tag)
+			}
+			if fwd >= 0 {
+				r.Send(out, fwd, tag)
+			}
+			if rr != nil {
+				r.Wait(rr)
+			}
+			if fwd >= 0 {
+				rr = r.Irecv(in, fwd, tag+1)
+			} else {
+				rr = nil
+			}
+			if back >= 0 {
+				r.Send(out, back, tag+1)
+			}
+			if rr != nil {
+				r.Wait(rr)
+			}
+		}
+		swap(faceOut, faceIn, east(), west(), 104)
+		swap(faceNSOut, faceNSIn, south(), north(), 106)
+	}
+	// Final residual norms.
+	r.Allreduce(small)
+	r.Allreduce(small)
+}

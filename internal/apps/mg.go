@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"mpinet/internal/memreg"
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// MG is the NAS Multi-Grid kernel: V-cycles over a hierarchy of 3D grids on
+// a 3D process decomposition. Every level exchanges ghost faces along the
+// three axes; face sizes shrink fourfold per level, which is why MG's
+// traffic spans all of Table 1's size classes. Like CG it speeds up
+// superlinearly thanks to shrinking per-rank working sets.
+func MG() *App {
+	return &App{
+		Name:     "MG",
+		MinProcs: 2,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.02}
+			}
+			// Table 2 anchors: 23.60 / 13.41 / 5.81 s.
+			return calibration{workSeconds: 46.8,
+				shape: map[int]float64{2: 0.9895, 4: 1.1068, 8: 0.9320}}
+		},
+		run: runMG,
+	}
+}
+
+func runMG(r *mpi.Rank, class Class, cal calibration) {
+	p := r.Size()
+	me := r.Rank()
+	n := int64(256)
+	iters := 20
+	if class == ClassS {
+		n = 32
+		iters = 3
+	}
+	px, py, pz := grid3(p)
+	// This rank's coordinates in the process grid.
+	mx := me % px
+	my := (me / px) % py
+	mz := me / (px * py)
+
+	// Local extents at the finest level.
+	lx := ceilDiv(n, int64(px))
+	ly := ceilDiv(n, int64(py))
+	lz := ceilDiv(n, int64(pz))
+
+	levels := 0
+	for d := n; d >= 4; d /= 2 {
+		levels++
+	}
+
+	// Pre-allocate ghost-face buffers per level and axis (persistent, as
+	// the real code's comm buffers are).
+	type faces struct{ out, in [3]memreg.Buf }
+	bufs := make([]faces, levels)
+	for l := 0; l < levels; l++ {
+		shift := int64(1) << uint(l)
+		dx, dy, dz := maxI64(lx/shift, 1), maxI64(ly/shift, 1), maxI64(lz/shift, 1)
+		sizes := [3]int64{dy * dz * 8, dx * dz * 8, dx * dy * 8}
+		for a := 0; a < 3; a++ {
+			bufs[l].out[a] = r.Malloc(sizes[a])
+			bufs[l].in[a] = r.Malloc(sizes[a])
+		}
+	}
+	small := r.Malloc(8)
+
+	neighbor := func(axis, dir int) int {
+		switch axis {
+		case 0:
+			if px == 1 {
+				return -1
+			}
+			return ((mx+dir+px)%px + my*px + mz*px*py)
+		case 1:
+			if py == 1 {
+				return -1
+			}
+			return (mx + ((my+dir+py)%py)*px + mz*px*py)
+		default:
+			if pz == 1 {
+				return -1
+			}
+			return (mx + my*px + ((mz+dir+pz)%pz)*px*py)
+		}
+	}
+
+	// One ghost-cell exchange round at level l: both directions of each
+	// decomposed axis, receives posted first (the NPB comm3 pattern).
+	exchange := func(l int) {
+		for axis := 0; axis < 3; axis++ {
+			up := neighbor(axis, 1)
+			down := neighbor(axis, -1)
+			if up < 0 || down < 0 {
+				continue
+			}
+			tag := 20 + axis
+			rr1 := r.Irecv(bufs[l].in[axis], down, tag)
+			r.Send(bufs[l].out[axis], up, tag)
+			r.Wait(rr1)
+			rr2 := r.Irecv(bufs[l].in[axis], up, tag+3)
+			r.Send(bufs[l].out[axis], down, tag+3)
+			r.Wait(rr2)
+		}
+	}
+
+	// The smoother/residual/restrict/prolongate operators each end in a
+	// ghost exchange; almost all of them run at the two finest levels
+	// (7/8 of the points live in the finest grid). Round counts are set so
+	// an interior rank's Table 1 profile matches the paper's.
+	rounds := func(l int) int {
+		if l < 2 {
+			return 7
+		}
+		return 2
+	}
+	// Work is concentrated at the fine levels; charge compute with a
+	// 4^-level weighting.
+	totalSteps := 0
+	for l := 0; l < levels; l++ {
+		totalSteps += 1 << uint(2*(levels-1-l))
+	}
+	perUnit := cal.perRankCompute(p) / sim.Time(iters*totalSteps)
+
+	r.Bcast(small, 0) // setup parameters
+	for it := 0; it < iters; it++ {
+		// One V-cycle: visit every level, exchanging ghosts around each
+		// operator application.
+		for l := 0; l < levels; l++ {
+			r.Compute(perUnit * sim.Time(1<<uint(2*(levels-1-l))))
+			for k := 0; k < rounds(l); k++ {
+				exchange(l)
+			}
+		}
+		// Residual norm.
+		r.Allreduce(small)
+	}
+	r.Allreduce(small)
+}

@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"fmt"
+
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// SP and BT are the NAS multi-partition application benchmarks: ADI-style
+// solvers that sweep the three coordinate directions each time step,
+// exchanging large faces with grid neighbors through paired Isend/Irecv
+// (Table 3: they are the only two workloads using non-blocking sends, at
+// ~260-290 KB average). The large non-blocking traffic is what lets
+// Quadrics' NIC-progressed rendezvous close the gap on these two codes
+// (Figure 15).
+func SP() *App { return multiPartition("SP", 400, 2420, 253) }
+
+// BT is the block-tridiagonal variant of the multi-partition pattern; see SP.
+func BT() *App { return multiPartition("BT", 200, 3180, 287) }
+
+func multiPartition(name string, steps int, workB float64, faceKB int64) *App {
+	return &App{
+		Name:        name,
+		SquareProcs: true,
+		MinProcs:    4,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.05}
+			}
+			return calibration{workSeconds: workB}
+		},
+		run: func(r *mpi.Rank, class Class, cal calibration) {
+			runMultiPartition(r, class, cal, steps, faceKB)
+		},
+	}
+}
+
+func runMultiPartition(r *mpi.Rank, class Class, cal calibration, steps int, faceKB int64) {
+	p := r.Size()
+	me := r.Rank()
+	sq := 1
+	for sq*sq < p {
+		sq++
+	}
+	if sq*sq != p {
+		panic(fmt.Sprintf("apps: %d is not square", p))
+	}
+	row := me / sq
+	col := me % sq
+
+	face := faceKB * 1024
+	if class == ClassS {
+		face = 4 * 1024
+		steps = 6
+	}
+	outE, inW := r.Malloc(face), r.Malloc(face)
+	outS, inN := r.Malloc(face), r.Malloc(face)
+	small := r.Malloc(8)
+
+	perPhase := cal.perRankCompute(p) / sim.Time(steps*6)
+
+	for i := 0; i < 6; i++ {
+		r.Bcast(small, 0)
+	}
+	// The multi-partition scheme shifts faces cyclically along row and
+	// column communicators of the process square.
+	rowComm := r.CommWorld().Split(row, col)
+	colComm := r.CommWorld().Split(col, row)
+	rowEast := (rowComm.Rank() + 1) % rowComm.Size()
+	rowWest := (rowComm.Rank() - 1 + rowComm.Size()) % rowComm.Size()
+	colSouth := (colComm.Rank() + 1) % colComm.Size()
+	colNorth := (colComm.Rank() - 1 + colComm.Size()) % colComm.Size()
+
+	for step := 0; step < steps; step++ {
+		// Three directional sweeps; each does two substeps of compute +
+		// non-blocking face shift (x and y decomposed; z local).
+		for sweep := 0; sweep < 3; sweep++ {
+			for phase := 0; phase < 2; phase++ {
+				r.Compute(perPhase)
+				rr1 := rowComm.Irecv(inW, rowWest, 30+sweep)
+				sr1 := rowComm.Isend(outE, rowEast, 30+sweep)
+				rr2 := colComm.Irecv(inN, colNorth, 40+sweep)
+				sr2 := colComm.Isend(outS, colSouth, 40+sweep)
+				r.Waitall(sr1, sr2, rr1, rr2)
+			}
+		}
+	}
+	r.Allreduce(small)
+	r.Allreduce(small)
+	r.Allreduce(small)
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"fmt"
+
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+)
+
+// Sweep3D is the ASCI discrete-ordinates transport benchmark: wavefront
+// sweeps from all eight octants across a 2D (i,j) process grid, pipelined
+// in k-blocks. All messages are small boundary planes, so performance is
+// governed by latency and pipeline fill — the workload where Quadrics'
+// higher host overhead shows despite its lower wire latency (Figure 17).
+//
+// The paper runs grid sizes 50 and 150. The sweep count (12) and k-block
+// size (one plane) are chosen so an interior rank's message counts and size
+// classes match the paper's Table 1 profile exactly.
+func Sweep3D(size int) *App {
+	if size != 50 && size != 150 {
+		panic(fmt.Sprintf("apps: sweep3d size %d not in the paper", size))
+	}
+	name := fmt.Sprintf("S3D-%d", size)
+	return &App{
+		Name:     name,
+		MinProcs: 2,
+		cal: func(class Class) calibration {
+			if class == ClassS {
+				return calibration{workSeconds: 0.02}
+			}
+			if size == 50 {
+				// Table 2 anchors: 13.58 / 7.18 / 3.59 s.
+				return calibration{workSeconds: 26.9,
+					shape: map[int]float64{2: 0.9955, 4: 1.0357, 8: 1.0092}}
+			}
+			// Table 2 anchors: 346.43 / 179.35 / 91.43 s.
+			return calibration{workSeconds: 691,
+				shape: map[int]float64{2: 0.998, 4: 1.0207, 8: 1.0337}}
+		},
+		run: func(r *mpi.Rank, class Class, cal calibration) {
+			runSweep3D(r, class, cal, size)
+		},
+	}
+}
+
+func runSweep3D(r *mpi.Rank, class Class, cal calibration, size int) {
+	p := r.Size()
+	me := r.Rank()
+	npi, npj := grid2(p) // i-rows x j-columns
+	mi := me / npj
+	mj := me % npj
+
+	it, jt, kt := int64(size), int64(size), int64(size)
+	itmx := 12
+	const mmi = 6         // angles per pipelined block
+	const angleBlocks = 2 // mm=12 angles in two blocks
+	const mk = 1          // k-plane block
+	if class == ClassS {
+		it, jt, kt = 8, 8, 8
+		itmx = 2
+	}
+
+	itl := ceilDiv(it, int64(npi))
+	jtl := ceilDiv(jt, int64(npj))
+
+	ewMsg := jtl * mk * mmi * 8 // crosses i-boundaries (east-west faces)
+	nsMsg := itl * mk * mmi * 8 // crosses j-boundaries
+	ewOut, ewIn := r.Malloc(ewMsg), r.Malloc(ewMsg)
+	nsOut, nsIn := r.Malloc(nsMsg), r.Malloc(nsMsg)
+	small := r.Malloc(8)
+
+	kBlocks := int(ceilDiv(kt, mk))
+	perBlock := cal.perRankCompute(p) / sim.Time(itmx*8*kBlocks*angleBlocks)
+
+	r.Barrier()
+	for iter := 0; iter < itmx; iter++ {
+		for octant := 0; octant < 8; octant++ {
+			idir := 1
+			if octant&1 != 0 {
+				idir = -1
+			}
+			jdir := 1
+			if octant&2 != 0 {
+				jdir = -1
+			}
+			// Upstream/downstream neighbors for this octant's sweep
+			// direction.
+			iUp, iDown := mi-idir, mi+idir
+			jUp, jDown := mj-jdir, mj+jdir
+			recvI := iUp >= 0 && iUp < npi
+			sendI := iDown >= 0 && iDown < npi
+			recvJ := jUp >= 0 && jUp < npj
+			sendJ := jDown >= 0 && jDown < npj
+			for kb := 0; kb < kBlocks; kb++ {
+				for ab := 0; ab < angleBlocks; ab++ {
+					if recvI {
+						r.Recv(ewIn, iUp*npj+mj, 50+octant)
+					}
+					if recvJ {
+						r.Recv(nsIn, mi*npj+jUp, 60+octant)
+					}
+					r.Compute(perBlock)
+					if sendI {
+						r.Send(ewOut, iDown*npj+mj, 50+octant)
+					}
+					if sendJ {
+						r.Send(nsOut, mi*npj+jDown, 60+octant)
+					}
+				}
+			}
+		}
+		// Flux error reductions.
+		r.Allreduce(small)
+		r.Allreduce(small)
+		r.Allreduce(small)
+	}
+}

@@ -1,0 +1,122 @@
+// Package cluster defines the testbed configurations of the paper as
+// reusable platform factories: the 8-node OSU cluster wired with each of the
+// three interconnects, the InfiniBand-on-PCI variant of Section 4.7, and the
+// 16-node Topspin InfiniBand cluster of Section 4.2.
+package cluster
+
+import (
+	"mpinet/internal/bus"
+	"mpinet/internal/dev"
+	"mpinet/internal/elan"
+	"mpinet/internal/fabric"
+	"mpinet/internal/gm"
+	"mpinet/internal/sim"
+	"mpinet/internal/verbs"
+)
+
+// Platform is a buildable interconnect testbed. New returns a freshly wired
+// network (with its own simulation engine) of the given node count.
+type Platform struct {
+	Name string
+	New  func(nodes int) dev.Network
+}
+
+// IBA is InfiniBand on PCI-X with the 8-port InfiniScale switch (the
+// paper's primary InfiniBand platform).
+func IBA() Platform {
+	return Platform{Name: "IBA", New: func(nodes int) dev.Network {
+		return verbs.New(sim.New(), verbs.DefaultConfig(nodes))
+	}}
+}
+
+// IBAPCI is the same InfiniBand platform forced onto a 64-bit/66 MHz PCI
+// bus (Figures 26–28).
+func IBAPCI() Platform {
+	return Platform{Name: "IBA-PCI", New: func(nodes int) dev.Network {
+		cfg := verbs.DefaultConfig(nodes)
+		cfg.Bus = bus.PCI64x66
+		return verbs.New(sim.New(), cfg)
+	}}
+}
+
+// Topspin is the 16-node Topspin InfiniBand cluster with the 24-port
+// Topspin 360 switch (Figure 24).
+func Topspin() Platform {
+	return Platform{Name: "IBA-Topspin", New: func(nodes int) dev.Network {
+		cfg := verbs.DefaultConfig(nodes)
+		cfg.SwitchPorts = 24
+		return verbs.New(sim.New(), cfg)
+	}}
+}
+
+// Myri is Myrinet-2000 with GM.
+func Myri() Platform {
+	return Platform{Name: "Myri", New: func(nodes int) dev.Network {
+		return gm.New(sim.New(), gm.DefaultConfig(nodes))
+	}}
+}
+
+// QSN is the Quadrics QsNet (Elan3 + Elite-16).
+func QSN() Platform {
+	return Platform{Name: "QSN", New: func(nodes int) dev.Network {
+		return elan.New(sim.New(), elan.DefaultConfig(nodes))
+	}}
+}
+
+// OSU returns the three interconnects of the 8-node OSU testbed, in the
+// paper's ordering.
+func OSU() []Platform {
+	return []Platform{IBA(), Myri(), QSN()}
+}
+
+// IBAOnDemand is InfiniBand with the on-demand connection-management
+// extension the paper's memory-usage discussion points to (Section 3.8):
+// Reliable Connections are established on first contact, so per-connection
+// memory tracks peers actually spoken to.
+func IBAOnDemand() Platform {
+	return Platform{Name: "IBA-OD", New: func(nodes int) dev.Network {
+		cfg := verbs.DefaultConfig(nodes)
+		cfg.OnDemandConnections = true
+		return verbs.New(sim.New(), cfg)
+	}}
+}
+
+// IBAMulticast is InfiniBand with the hardware-supported collective
+// extension of Section 3.7: broadcasts ride switch multicast.
+func IBAMulticast() Platform {
+	return Platform{Name: "IBA-MC", New: func(nodes int) dev.Network {
+		cfg := verbs.DefaultConfig(nodes)
+		cfg.HWMulticast = true
+		return verbs.New(sim.New(), cfg)
+	}}
+}
+
+// IBAFatTree is InfiniBand on a two-level fat tree built from 24-port
+// elements (16 hosts and 8 up-links per leaf): the scaling extension for
+// clusters larger than one switch. It grows to 16*leaves hosts with 2:1
+// oversubscription.
+func IBAFatTree(nodes int) Platform {
+	return Platform{Name: "IBA-FT", New: func(n int) dev.Network {
+		leaves := (n + 15) / 16
+		if leaves < 2 {
+			leaves = 2
+		}
+		cfg := verbs.DefaultConfig(n)
+		cfg.FatTree = &fabric.FatTreeConfig{
+			HostsPerLeaf: 16,
+			Leaves:       leaves,
+			Spines:       8,
+		}
+		return verbs.New(sim.New(), cfg)
+	}}
+}
+
+// IBAEagerThreshold is InfiniBand with an overridden eager/rendezvous
+// switch point — the ablation knob behind the Figure 2 protocol-dip study.
+func IBAEagerThreshold(threshold int64) Platform {
+	return Platform{Name: "IBA-ET", New: func(nodes int) dev.Network {
+		cfg := verbs.DefaultConfig(nodes)
+		cfg.EagerThreshold = threshold
+		return verbs.New(sim.New(), cfg)
+	}}
+}

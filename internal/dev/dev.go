@@ -1,0 +1,148 @@
+// Package dev defines the service-provider interface between the MPI
+// library and an interconnect model — the simulation analogue of MPICH's
+// ADI2/Channel boundary.
+//
+// The MPI point-to-point engine (internal/mpi) implements the eager and
+// rendezvous protocols once; each interconnect (internal/verbs, internal/gm,
+// internal/elan) supplies an Endpoint that prices host participation,
+// registration, and wire movement according to its hardware. Everything that
+// differentiates the three MPI implementations in the paper enters through
+// this interface:
+//
+//   - host overheads (Figure 3) via SendOverhead/RecvOverhead,
+//   - protocol switch points (Figures 1, 2, 7, 8) via EagerThreshold,
+//   - registration / NIC-MMU cost (Figures 7, 8) via AcquireBuf and
+//     AcquireOnEager,
+//   - NIC-driven rendezvous progress (Figure 6) via NICProgress,
+//   - command-queue backpressure (Figure 2's Quadrics window-16 sag) via
+//     IssueStall,
+//   - per-connection memory (Figure 13) via MemoryUsage,
+//   - the intra-node channel policy (Figures 9, 10, 25) via ShmemBelow.
+package dev
+
+import (
+	"mpinet/internal/memreg"
+	"mpinet/internal/sim"
+)
+
+// Endpoint is one process's attachment to an interconnect. Endpoints on the
+// same node share that node's NIC, bus and link hardware, so contention
+// between co-located processes is modelled for free.
+type Endpoint interface {
+	// Node returns the index of the node this endpoint lives on.
+	Node() int
+
+	// EagerThreshold is the largest payload sent by the eager protocol;
+	// larger messages use rendezvous.
+	EagerThreshold() int64
+
+	// SendOverhead is the host CPU time consumed initiating a send of the
+	// given size (descriptor build, doorbell, library bookkeeping).
+	SendOverhead(size int64) sim.Time
+
+	// RecvOverhead is the host CPU time consumed completing (matching,
+	// unpacking bookkeeping) a receive of the given size.
+	RecvOverhead(size int64) sim.Time
+
+	// CopyTime is the host time to memcpy size bytes between a user buffer
+	// and pre-registered staging (the eager path's copies).
+	CopyTime(size int64) sim.Time
+
+	// AcquireBuf makes a user buffer usable by the NIC (registration for
+	// VAPI/GM, MMU-table synchronization for Elan) and returns the host
+	// time it cost. Warm buffers cost zero.
+	AcquireBuf(b memreg.Buf) sim.Time
+
+	// AcquireOnEager reports whether AcquireBuf applies to eager-path
+	// buffers too (true for Elan, whose NIC reads user memory directly even
+	// for small messages; false for VAPI/GM, whose eager path copies
+	// through pre-registered staging).
+	AcquireOnEager() bool
+
+	// NICProgress reports whether the NIC advances the rendezvous protocol
+	// without host involvement (true for Elan/Tports).
+	NICProgress() bool
+
+	// IssueStall returns host stall time required before issuing the next
+	// NIC operation (command-queue backpressure), possibly zero.
+	IssueStall() sim.Time
+
+	// Eager moves an eager packet (envelope + payload) to the destination
+	// node's eager region; deliver fires there when it has landed.
+	Eager(dst int, size int64, deliver func())
+
+	// Control moves a small protocol message (RTS/CTS/FIN).
+	Control(dst int, deliver func())
+
+	// Bulk moves rendezvous payload zero-copy; deliver fires when the last
+	// byte is in the destination user buffer.
+	Bulk(dst int, size int64, deliver func())
+
+	// MemoryUsage is the bytes of library+device memory this process
+	// consumes when connected to npeers other processes.
+	MemoryUsage(npeers int) int64
+}
+
+// NICMatcher is implemented by endpoints whose NIC performs message
+// matching itself (Quadrics Tports). The NIC walks its table of pending
+// entries for every arrival, so delivery is delayed — and the NIC processor
+// occupied — in proportion to how many receives are outstanding. This is
+// the mechanism behind Quadrics' poor many-to-many (Alltoall) performance
+// relative to its excellent ping-pong latency.
+type NICMatcher interface {
+	// MatchDelay runs cb after the NIC has matched an arrival against
+	// pending posted entries.
+	MatchDelay(pending int, cb func())
+}
+
+// Multicaster is implemented by endpoints whose switch can replicate one
+// injected packet stream to every node — the hardware-supported collective
+// extension the paper's Section 3.7 announces for InfiniBand. The MPI
+// library's Bcast rides it when available.
+type Multicaster interface {
+	// Multicast pushes size bytes from this endpoint's node to every other
+	// node; deliver fires once per destination node as the payload lands.
+	Multicast(size int64, deliver func(node int))
+}
+
+// Utilization is one hardware resource's cumulative busy time, for
+// bottleneck analysis after a run.
+type Utilization struct {
+	// Resource is the diagnostic name ("iba0/bus", "myri3/lanai", ...).
+	Resource string
+	// Busy is cumulative service time.
+	Busy sim.Time
+	// Jobs is the number of jobs served.
+	Jobs int64
+}
+
+// UtilizationReporter is implemented by networks that expose per-resource
+// occupancy accounting.
+type UtilizationReporter interface {
+	// Utilizations returns a snapshot for every modelled resource, in a
+	// stable order.
+	Utilizations() []Utilization
+}
+
+// Network is a fully wired interconnect instance for a cluster.
+type Network interface {
+	// Name is the short interconnect name used in reports ("IBA", "Myri",
+	// "QSN").
+	Name() string
+
+	// Engine returns the simulation engine the hardware is scheduled on.
+	Engine() *sim.Engine
+
+	// Nodes returns the number of hosts attached.
+	Nodes() int
+
+	// NewEndpoint attaches one more process to the given node.
+	NewEndpoint(node int) Endpoint
+
+	// ShmemBelow reports this MPI implementation's intra-node policy:
+	// messages strictly smaller than the returned size use the shared-
+	// memory channel between co-located ranks; larger ones (and everything,
+	// if it returns 0) loop back through the NIC. MVAPICH returns 16 KB,
+	// MPICH-GM effectively infinity, Quadrics MPI 0.
+	ShmemBelow() int64
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickMicroSuite(t *testing.T) {
+	var out bytes.Buffer
+	r := NewRunner(true, nil)
+	r.RunMicro(&out)
+	s := out.String()
+	for _, id := range []string{"Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6",
+		"Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Fig 26", "Fig 27"} {
+		if !strings.Contains(s, id+":") {
+			t.Errorf("micro suite output missing %s", id)
+		}
+	}
+	for _, net := range []string{"IBA", "Myri", "QSN"} {
+		if !strings.Contains(s, net) {
+			t.Errorf("micro suite output missing network %s", net)
+		}
+	}
+}
+
+func TestQuickAppSuite(t *testing.T) {
+	var out bytes.Buffer
+	r := NewRunner(true, nil)
+	r.RunApps(&out)
+	s := out.String()
+	for _, id := range []string{"Figs 14-17", "Table 1", "Table 2", "Table 3",
+		"Table 4", "Table 5", "Table 6", "Fig 18", "Fig 23", "Fig 24", "Fig 25", "Fig 28"} {
+		if !strings.Contains(s, id+":") {
+			t.Errorf("app suite output missing %s", id)
+		}
+	}
+	for _, app := range []string{"IS", "CG", "MG", "LU", "FT", "SP", "BT", "S3D-50", "S3D-150"} {
+		if !strings.Contains(s, app) {
+			t.Errorf("app suite output missing %s", app)
+		}
+	}
+}
+
+func TestAppCacheReused(t *testing.T) {
+	r := NewRunner(true, nil)
+	var out bytes.Buffer
+	_ = r.Tab1()
+	n := len(r.appCache)
+	if n == 0 {
+		t.Fatal("no cached runs after Tab1")
+	}
+	_ = r.Tab4() // same configurations — must hit the cache entirely
+	if len(r.appCache) != n {
+		t.Fatalf("Tab4 re-ran applications: cache %d -> %d", n, len(r.appCache))
+	}
+	r.RunApps(&out) // smoke the rest with the cache warm
+}
+
+func TestComparisonsProduceValues(t *testing.T) {
+	r := NewRunner(true, nil)
+	comps := r.Table1Comparisons()
+	if len(comps) == 0 {
+		t.Fatal("no Table 1 comparisons")
+	}
+	for _, c := range comps {
+		if c.Sim < 0 {
+			t.Errorf("%s: negative simulated value", c.Name)
+		}
+	}
+}
+
+func TestQuickExtensionSuite(t *testing.T) {
+	var out bytes.Buffer
+	r := NewRunner(true, nil)
+	r.RunExtensions(&out)
+	s := out.String()
+	for _, id := range []string{"Ext A", "Ext B", "Ext C", "Ext D", "Ext E"} {
+		if !strings.Contains(s, id+":") {
+			t.Errorf("extension suite output missing %s", id)
+		}
+	}
+	for _, want := range []string{"IBA-OD", "multicast", "LogGP", "raw lat", "32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("extension suite output missing %q", want)
+		}
+	}
+}
+
+func TestSizesQuickThinning(t *testing.T) {
+	full := NewRunner(false, nil).sizes(4, 4096)
+	quick := NewRunner(true, nil).sizes(4, 4096)
+	if len(quick) >= len(full) {
+		t.Fatalf("quick sweep (%d points) not thinner than full (%d)", len(quick), len(full))
+	}
+}

@@ -1,0 +1,174 @@
+// Package fabric models the network side of a cluster interconnect: full-
+// duplex point-to-point links, crossbar switches, and the chunked cut-
+// through pipeline that moves a message across a multi-stage hardware path.
+//
+// All three interconnects in the paper are physically a star: every host has
+// one full-duplex link to a central crossbar switch (InfiniScale 8-port,
+// Myrinet-2000 8-port, Elite-16; the Topspin testbed uses a 24-port switch).
+// A message from host A to host B traverses: A's egress link direction, the
+// switch crossing, B's ingress link direction — with per-stage contention
+// from other traffic sharing those ports.
+package fabric
+
+import (
+	"fmt"
+
+	"mpinet/internal/sim"
+	"mpinet/internal/units"
+)
+
+// Stage is one hardware stage of a transfer path: submitting n bytes at time
+// now occupies the stage for some interval. sim.Pipe and bus.Bus implement
+// it.
+type Stage interface {
+	Send(now sim.Time, n int64) (start, end sim.Time)
+}
+
+// LinkConfig describes one full-duplex link technology.
+type LinkConfig struct {
+	Rate     units.BytesPerSecond // data rate per direction
+	PerChunk sim.Time             // header/framing occupancy per chunk
+	MinFrame int64                // minimum billed frame size
+}
+
+// Link is a full-duplex host-switch cable: two independent directions.
+type Link struct {
+	toSwitch   *sim.Pipe
+	fromSwitch *sim.Pipe
+}
+
+// NewLink builds a link with independent per-direction pipes.
+func NewLink(name string, cfg LinkConfig) *Link {
+	return &Link{
+		toSwitch:   sim.NewPipe(name+"/up", cfg.Rate, cfg.PerChunk, cfg.MinFrame),
+		fromSwitch: sim.NewPipe(name+"/down", cfg.Rate, cfg.PerChunk, cfg.MinFrame),
+	}
+}
+
+// Up returns the host→switch direction.
+func (l *Link) Up() *sim.Pipe { return l.toSwitch }
+
+// Down returns the switch→host direction.
+func (l *Link) Down() *sim.Pipe { return l.fromSwitch }
+
+// SwitchConfig describes a crossbar switch.
+type SwitchConfig struct {
+	Ports    int
+	Crossing sim.Time             // port-to-port latency (cut-through)
+	Rate     units.BytesPerSecond // per-port forwarding rate
+}
+
+// Switch is a wormhole/cut-through crossbar: each output port is a FIFO
+// resource at the port forwarding rate; the crossing latency is added to
+// every chunk. Input contention is carried by the sender's link pipe, so
+// only output ports are modelled as stations (a standard crossbar
+// simplification: the crossbar itself is non-blocking).
+type Switch struct {
+	cfg SwitchConfig
+	out []*sim.Pipe
+}
+
+// NewSwitch builds a switch with the given port count.
+func NewSwitch(name string, cfg SwitchConfig) *Switch {
+	s := &Switch{cfg: cfg, out: make([]*sim.Pipe, cfg.Ports)}
+	for i := range s.out {
+		s.out[i] = sim.NewPipe(fmt.Sprintf("%s/out%d", name, i), cfg.Rate, 0, 0)
+	}
+	return s
+}
+
+// OutPort returns the stage for the given output port; forwarding through it
+// also pays the crossing latency (applied by the pipeline as stage latency).
+func (s *Switch) OutPort(port int) *sim.Pipe { return s.out[port] }
+
+// Crossing returns the cut-through port-to-port latency.
+func (s *Switch) Crossing() sim.Time { return s.cfg.Crossing }
+
+// Ports returns the port count.
+func (s *Switch) Ports() int { return s.cfg.Ports }
+
+// PathStage pairs a Stage with a propagation latency paid by each chunk
+// after it clears the stage (wire flight time, switch crossing).
+type PathStage struct {
+	Stage   Stage
+	Latency sim.Time
+}
+
+// Transfer pushes size bytes through the staged path as a cut-through
+// pipeline of chunks, starting at time start, and calls done(end) when the
+// last chunk clears the last stage. chunk is the pipelining granularity;
+// sizes at or below it move as a single unit.
+//
+// Each chunk is self-clocked: chunk i+1 is submitted to stage 0 when chunk i
+// clears stage 0, and a chunk is submitted to stage k+1 when it clears stage
+// k. Contending transfers interleave naturally through the shared stage
+// FIFOs.
+func Transfer(e *sim.Engine, path []PathStage, size, chunk int64, start sim.Time, done func(end sim.Time)) {
+	if chunk <= 0 {
+		panic("fabric: non-positive chunk")
+	}
+	if len(path) == 0 {
+		e.At(start, func() { done(e.Now()) })
+		return
+	}
+	if size <= 0 {
+		size = 1 // control messages still occupy the path minimally
+	}
+	// Build the chunk list.
+	nchunks := (size + chunk - 1) / chunk
+	last := size - (nchunks-1)*chunk
+
+	var submit func(ci int64, stage int, at sim.Time)
+	submit = func(ci int64, stage int, at sim.Time) {
+		n := chunk
+		if ci == nchunks-1 {
+			n = last
+		}
+		st := path[stage]
+		e.At(at, func() {
+			_, end := st.Stage.Send(e.Now(), n)
+			arrive := end + st.Latency
+			if stage == 0 && ci+1 < nchunks {
+				// Self-clock the next chunk into the head of the path.
+				submit(ci+1, 0, end)
+			}
+			if stage+1 < len(path) {
+				submit(ci, stage+1, arrive)
+			} else if ci == nchunks-1 {
+				e.At(arrive, func() { done(e.Now()) })
+			}
+		})
+	}
+	submit(0, 0, start)
+}
+
+// DefaultChunk is the pipelining granularity used by the NIC models for
+// bulk transfers: small enough that multi-stage cut-through pipelining and
+// contention interleaving are visible (one chunk of ramp-up per extra
+// stage), large enough that simulating multi-megabyte messages stays cheap.
+const DefaultChunk int64 = 2 * 1024
+
+// minChunk is the finest pipelining granularity, used for small messages so
+// that a 1-4 KB payload is not store-and-forwarded whole across every stage
+// of the path (real fabrics cut through at flit/cell granularity).
+const minChunk int64 = 512
+
+// ChunkFor picks the pipelining granularity for a message: about a quarter
+// of the payload, clamped to [minChunk, DefaultChunk]. For multi-megabyte
+// bulk transfers the chunk grows so a message stays a few hundred events no
+// matter its size; per-chunk overheads are small enough that delivered
+// bandwidth is insensitive to this (the bus model's burst overhead is
+// per-burst, not per-chunk, so it scales exactly).
+func ChunkFor(size int64) int64 {
+	if size >= 1<<20 {
+		return size / 256
+	}
+	c := size / 4
+	if c < minChunk {
+		return minChunk
+	}
+	if c > DefaultChunk {
+		return DefaultChunk
+	}
+	return c
+}

@@ -1,0 +1,123 @@
+package fabric
+
+import (
+	"fmt"
+
+	"mpinet/internal/sim"
+	"mpinet/internal/units"
+)
+
+// Topology abstracts the switching fabric between a source host's up-link
+// and a destination host's down-link: a single crossbar (the paper's
+// testbeds) or a multi-stage fat tree (the scaling extension).
+type Topology interface {
+	// Between returns the intermediate stages a message crosses from src
+	// node to dst node (possibly none), plus the latency to add to the
+	// destination's down-link stage (switch crossings and wire time).
+	Between(src, dst int) (stages []PathStage, downLatency sim.Time)
+	// Nodes reports how many hosts the fabric can attach.
+	Nodes() int
+}
+
+// CrossbarTopology adapts the single-switch star: no intermediate stages,
+// one crossing.
+type CrossbarTopology struct {
+	sw *Switch
+}
+
+// NewCrossbarTopology wraps a switch as a Topology.
+func NewCrossbarTopology(sw *Switch) *CrossbarTopology {
+	return &CrossbarTopology{sw: sw}
+}
+
+// Between implements Topology.
+func (c *CrossbarTopology) Between(src, dst int) ([]PathStage, sim.Time) {
+	return nil, c.sw.Crossing()
+}
+
+// Nodes implements Topology.
+func (c *CrossbarTopology) Nodes() int { return c.sw.Ports() }
+
+// FatTreeConfig describes a two-level folded-Clos (fat-tree) fabric built
+// from crossbar elements: hosts attach to leaf switches; every leaf has one
+// up-link to each spine.
+type FatTreeConfig struct {
+	// HostsPerLeaf is the number of hosts below each leaf switch.
+	HostsPerLeaf int
+	// Leaves is the number of leaf switches.
+	Leaves int
+	// Spines is the number of spine switches (also each leaf's up-link
+	// count); HostsPerLeaf:Spines sets the oversubscription ratio.
+	Spines int
+	// LinkRate is the inter-switch link bandwidth per direction.
+	LinkRate units.BytesPerSecond
+	// Crossing is the per-element crossing latency.
+	Crossing sim.Time
+	// WireLatency is the per-hop cable flight time.
+	WireLatency sim.Time
+}
+
+// FatTree is a wired two-level fabric. Routing is deterministic ECMP: the
+// spine is picked by destination node, so a given (src, dst) pair always
+// takes the same path (as real forwarding tables do) while load spreads
+// across spines.
+type FatTree struct {
+	cfg FatTreeConfig
+	// up[l][s] is leaf l's up-link toward spine s; down[l][s] the return.
+	up   [][]*sim.Pipe
+	down [][]*sim.Pipe
+}
+
+// NewFatTree wires the fabric.
+func NewFatTree(name string, cfg FatTreeConfig) *FatTree {
+	if cfg.HostsPerLeaf < 1 || cfg.Leaves < 1 || cfg.Spines < 1 {
+		panic("fabric: fat tree needs positive dimensions")
+	}
+	if cfg.LinkRate <= 0 {
+		panic("fabric: fat tree needs a link rate")
+	}
+	t := &FatTree{cfg: cfg}
+	t.up = make([][]*sim.Pipe, cfg.Leaves)
+	t.down = make([][]*sim.Pipe, cfg.Leaves)
+	for l := 0; l < cfg.Leaves; l++ {
+		t.up[l] = make([]*sim.Pipe, cfg.Spines)
+		t.down[l] = make([]*sim.Pipe, cfg.Spines)
+		for s := 0; s < cfg.Spines; s++ {
+			t.up[l][s] = sim.NewPipe(fmt.Sprintf("%s/leaf%d-up%d", name, l, s), cfg.LinkRate, 0, 0)
+			t.down[l][s] = sim.NewPipe(fmt.Sprintf("%s/leaf%d-down%d", name, l, s), cfg.LinkRate, 0, 0)
+		}
+	}
+	return t
+}
+
+// Nodes implements Topology.
+func (t *FatTree) Nodes() int { return t.cfg.Leaves * t.cfg.HostsPerLeaf }
+
+// LeafOf returns the leaf switch a node attaches to.
+func (t *FatTree) LeafOf(node int) int { return node / t.cfg.HostsPerLeaf }
+
+// Between implements Topology: same-leaf traffic crosses one element;
+// cross-leaf traffic climbs to a spine and back down.
+func (t *FatTree) Between(src, dst int) ([]PathStage, sim.Time) {
+	sl, dl := t.LeafOf(src), t.LeafOf(dst)
+	if sl == dl {
+		return nil, t.cfg.Crossing
+	}
+	spine := dst % t.cfg.Spines // deterministic ECMP by destination
+	stages := []PathStage{
+		{Stage: t.up[sl][spine], Latency: t.cfg.Crossing + t.cfg.WireLatency},
+		{Stage: t.down[dl][spine], Latency: t.cfg.Crossing + t.cfg.WireLatency},
+	}
+	// The third crossing (destination leaf onto the host link) rides the
+	// down-link latency.
+	return stages, t.cfg.Crossing
+}
+
+// Hops reports the element count a (src, dst) route crosses — useful for
+// tests and diagnostics.
+func (t *FatTree) Hops(src, dst int) int {
+	if t.LeafOf(src) == t.LeafOf(dst) {
+		return 1
+	}
+	return 3
+}

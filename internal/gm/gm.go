@@ -1,0 +1,346 @@
+// Package gm models the Myrinet side of the paper's testbed: M3F-PCIXD-2
+// NICs (LANai-XP processor at 225 MHz with 2 MB on-board SRAM) on PCI-X,
+// a Myrinet-2000 8-port crossbar, 2 Gbps-per-direction links, and a GM-like
+// messaging layer (connectionless send/receive plus directed send,
+// registration required) — the substrate MPICH-GM 1.2.5 runs on.
+//
+// Mechanisms represented:
+//
+//   - The 2 Gbps link is the uni-directional ceiling (~235 MB/s, Figure 2);
+//     links are full duplex and the PCI-X bus has headroom, so
+//     bi-directional traffic nearly doubles (~473 MB/s, Figure 5).
+//   - The LANai processor orchestrates both directions: crossing traffic
+//     queues behind it, which is the bi-directional latency penalty of
+//     Figure 4 (6.7 us -> ~10 us).
+//   - Send and receive payloads stage through the 2 MB SRAM; when both
+//     directions carry deep large-message traffic the staging pool
+//     oversubscribes and the DMA pipelines stall — the Figure 5 collapse
+//     past 256 KB.
+//   - MPICH-GM's eager path copies through pre-registered staging up to a
+//     16 KB threshold; beyond it, directed send is zero-copy and pays
+//     registration on pin-down cache misses (Figures 7, 8).
+package gm
+
+import (
+	"fmt"
+	"math"
+
+	"mpinet/internal/bus"
+	"mpinet/internal/dev"
+	"mpinet/internal/fabric"
+	"mpinet/internal/memreg"
+	"mpinet/internal/shmem"
+	"mpinet/internal/sim"
+	"mpinet/internal/units"
+)
+
+// Config selects the Myrinet platform variant.
+type Config struct {
+	Nodes       int
+	SwitchPorts int // 8 on the paper's Myrinet-2000 switch
+	// EagerThreshold overrides MPICH-GM's default 16 KB rendezvous switch
+	// point (0 = default); an ablation knob.
+	EagerThreshold int64
+}
+
+// DefaultConfig is the paper's 8-node testbed.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, SwitchPorts: 8}
+}
+
+// Calibration constants (see DESIGN.md §5).
+const (
+	// linkRate is 2 Gbps per direction.
+	linkRateBps = 2e9 / 8
+	// lanaiPerMsg is LANai firmware work per packet (routing header, event
+	// handling); the engine is shared by both directions.
+	lanaiPerMsg = 1550 * units.Nanosecond
+	// ackProcess is LANai work to generate/absorb GM's reliability ACK for
+	// each delivered message; ackFlight is its wire time back. Under
+	// bi-directional load these ACKs queue behind data processing — the
+	// Figure 4 bi-directional latency penalty.
+	ackProcess = 1500 * units.Nanosecond
+	ackFlight  = 600 * units.Nanosecond
+	// sdma/rdma are the NIC's per-direction DMA engines between host
+	// memory/SRAM and the wire.
+	dmaRateBps  = 300e6
+	dmaPerChunk = 300 * units.Nanosecond
+	// sramBytes is the staging SRAM; when both directions carry more
+	// outstanding bulk than it holds, the DMA engines stall on staging and
+	// fall to dmaStallRate (the Figure 5 collapse below 340 MB/s total).
+	sramBytes       = 2 * units.MB
+	dmaStallRateBps = 175e6
+	// Host overheads: GM keeps the host almost out of the way (sum ~0.8 us,
+	// Figure 3).
+	sendOverhead  = 450 * units.Nanosecond
+	recvOverhead  = 350 * units.Nanosecond
+	overheadPerKB = 35 * units.Nanosecond
+	wireLatency   = 100 * units.Nanosecond
+	// switchCrossing for the Myrinet-2000 crossbar (cut-through).
+	switchCrossing = 300 * units.Nanosecond
+	// eagerMax is MPICH-GM's rendezvous threshold.
+	eagerMax = 16 * 1024
+	copyBW   = 1600 // MB/s staging memcpy
+	// Registration (gm_register_memory) cost model.
+	regPerOp    = 15 * units.Microsecond
+	regPerPage  = 2200 * units.Nanosecond
+	deregPerOp  = 6 * units.Microsecond
+	deregPage   = 900 * units.Nanosecond
+	pinCapPages = 32768
+	// Memory: MPICH-GM pre-allocates a flat pool regardless of peers
+	// (Figure 13).
+	memFlat = 22 * units.MB
+)
+
+// Network is a wired Myrinet cluster.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	sw    *fabric.Switch
+	nodes []*nodeHW
+}
+
+type nodeHW struct {
+	bus   *bus.Bus
+	lanai *sim.Station // shared firmware engine
+	sdma  *stallPipe   // host->wire DMA
+	rdma  *stallPipe   // wire->host DMA
+	link  *fabric.Link
+
+	// staging accounting for the SRAM model
+	outTx int64
+	outRx int64
+}
+
+// stallPipe is a DMA engine whose per-chunk occupancy inflates while the
+// SRAM staging pool is oversubscribed by bi-directional bulk traffic.
+type stallPipe struct {
+	st *sim.Station
+	hw *nodeHW
+}
+
+func (s *stallPipe) Send(now sim.Time, n int64) (start, end sim.Time) {
+	rate := units.BytesPerSecond(dmaRateBps)
+	if min64(s.hw.outTx, s.hw.outRx) > sramBytes {
+		rate = units.BytesPerSecond(dmaStallRateBps)
+	}
+	return s.st.Use(now, dmaPerChunk+rate.TimeFor(n))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// New wires a Myrinet network.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Nodes < 1 {
+		panic("gm: need at least one node")
+	}
+	if cfg.SwitchPorts == 0 {
+		cfg.SwitchPorts = 8
+	}
+	if cfg.Nodes > cfg.SwitchPorts {
+		panic(fmt.Sprintf("gm: %d nodes exceed %d switch ports", cfg.Nodes, cfg.SwitchPorts))
+	}
+	n := &Network{
+		eng: eng,
+		cfg: cfg,
+		sw: fabric.NewSwitch("myrinet2000", fabric.SwitchConfig{
+			Ports:    cfg.SwitchPorts,
+			Crossing: switchCrossing,
+			Rate:     units.BytesPerSecond(linkRateBps),
+		}),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("myri%d", i)
+		hw := &nodeHW{
+			bus:   bus.New(name+"/bus", bus.PCIX64x133),
+			lanai: sim.NewStation(name + "/lanai"),
+			link: fabric.NewLink(name+"/link", fabric.LinkConfig{
+				Rate:     units.BytesPerSecond(linkRateBps),
+				PerChunk: 60 * units.Nanosecond,
+				MinFrame: 64,
+			}),
+		}
+		hw.sdma = &stallPipe{st: sim.NewStation(name + "/sdma"), hw: hw}
+		hw.rdma = &stallPipe{st: sim.NewStation(name + "/rdma"), hw: hw}
+		n.nodes = append(n.nodes, hw)
+	}
+	return n
+}
+
+// Name implements dev.Network.
+func (n *Network) Name() string { return "Myri" }
+
+// Engine implements dev.Network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Nodes implements dev.Network.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// ShmemBelow implements dev.Network: MPICH-GM uses shared memory for all
+// intra-node message sizes.
+func (n *Network) ShmemBelow() int64 { return math.MaxInt64 }
+
+// ShmemConfig returns the intra-node channel parameters for MPICH-GM, whose
+// shared-memory path has the lowest small-message cost of the three
+// implementations (~1.3 us).
+func (n *Network) ShmemConfig() shmem.Config {
+	c := shmem.DefaultConfig()
+	c.Handshake = 900 * units.Nanosecond
+	return c
+}
+
+// Utilizations implements dev.UtilizationReporter.
+func (n *Network) Utilizations() []dev.Utilization {
+	var out []dev.Utilization
+	for _, hw := range n.nodes {
+		out = append(out,
+			dev.Utilization{Resource: hw.bus.Name(), Busy: hw.bus.BusyTime(), Jobs: hw.bus.Jobs()},
+			dev.Utilization{Resource: hw.lanai.Name(), Busy: hw.lanai.BusyTime(), Jobs: hw.lanai.Jobs()},
+			dev.Utilization{Resource: hw.sdma.st.Name(), Busy: hw.sdma.st.BusyTime(), Jobs: hw.sdma.st.Jobs()},
+			dev.Utilization{Resource: hw.rdma.st.Name(), Busy: hw.rdma.st.BusyTime(), Jobs: hw.rdma.st.Jobs()},
+			dev.Utilization{Resource: hw.link.Up().Name(), Busy: hw.link.Up().BusyTime(), Jobs: hw.link.Up().Jobs()},
+			dev.Utilization{Resource: hw.link.Down().Name(), Busy: hw.link.Down().BusyTime(), Jobs: hw.link.Down().Jobs()},
+		)
+	}
+	return out
+}
+
+// NewEndpoint implements dev.Network.
+func (n *Network) NewEndpoint(node int) dev.Endpoint {
+	if node < 0 || node >= len(n.nodes) {
+		panic("gm: bad node index")
+	}
+	return &endpoint{
+		net:  n,
+		node: node,
+		pin: memreg.NewPinCache(
+			memreg.CostModel{PerOp: regPerOp, PerPage: regPerPage},
+			memreg.CostModel{PerOp: deregPerOp, PerPage: deregPage},
+			pinCapPages),
+	}
+}
+
+type endpoint struct {
+	net  *Network
+	node int
+	pin  *memreg.PinCache
+}
+
+func (ep *endpoint) Node() int { return ep.node }
+
+// EagerThreshold implements dev.Endpoint, honouring the config override.
+func (ep *endpoint) EagerThreshold() int64 {
+	if ep.net.cfg.EagerThreshold > 0 {
+		return ep.net.cfg.EagerThreshold
+	}
+	return eagerMax
+}
+func (ep *endpoint) NICProgress() bool    { return false }
+func (ep *endpoint) AcquireOnEager() bool { return false }
+func (ep *endpoint) IssueStall() sim.Time { return 0 }
+
+func (ep *endpoint) SendOverhead(size int64) sim.Time {
+	return sendOverhead + sim.Time(size/units.KB)*overheadPerKB
+}
+
+func (ep *endpoint) RecvOverhead(size int64) sim.Time {
+	return recvOverhead + sim.Time(size/units.KB)*overheadPerKB
+}
+
+func (ep *endpoint) CopyTime(size int64) sim.Time {
+	return units.MBps(copyBW).TimeFor(size)
+}
+
+func (ep *endpoint) AcquireBuf(b memreg.Buf) sim.Time {
+	return ep.pin.Acquire(b)
+}
+
+func (ep *endpoint) MemoryUsage(npeers int) int64 { return memFlat }
+
+// PinCache exposes the registration cache for tests and diagnostics.
+func (ep *endpoint) PinCache() *memreg.PinCache { return ep.pin }
+
+// lanaiStage bills the shared firmware engine once per message; modelled as
+// a Stage so it sits in the path like hardware.
+type lanaiStage struct{ st *sim.Station }
+
+func (l lanaiStage) Send(now sim.Time, n int64) (start, end sim.Time) {
+	return l.st.Use(now, lanaiPerMsg)
+}
+
+// path assembles the staged path to dst. The LANai engine appears once per
+// side per message (envelope processing); payload chunks flow through the
+// per-direction DMA engines and the link.
+func (ep *endpoint) path(dst int) []fabric.PathStage {
+	src := ep.net.nodes[ep.node]
+	if dst == ep.node {
+		return []fabric.PathStage{
+			{Stage: src.bus},
+			{Stage: lanaiStage{src.lanai}},
+			{Stage: src.sdma},
+			{Stage: src.rdma},
+			{Stage: lanaiStage{src.lanai}},
+			{Stage: src.bus},
+		}
+	}
+	d := ep.net.nodes[dst]
+	return []fabric.PathStage{
+		{Stage: src.bus},
+		{Stage: lanaiStage{src.lanai}},
+		{Stage: src.sdma},
+		{Stage: src.link.Up(), Latency: wireLatency},
+		{Stage: d.link.Down(), Latency: ep.net.sw.Crossing() + wireLatency},
+		{Stage: lanaiStage{d.lanai}},
+		{Stage: d.rdma},
+		{Stage: d.bus},
+	}
+}
+
+func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
+	eng := ep.net.eng
+	src := ep.net.nodes[ep.node]
+	dstHW := ep.net.nodes[dst]
+	if bulk {
+		src.outTx += size
+		dstHW.outRx += size
+	}
+	fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), eng.Now(),
+		func(sim.Time) {
+			if bulk {
+				src.outTx -= size
+				dstHW.outRx -= size
+			}
+			// GM reliability: the receiving LANai generates an ACK that the
+			// sending LANai must absorb.
+			dstHW.lanai.Use(eng.Now(), ackProcess)
+			if dstHW != src {
+				eng.Schedule(ackFlight, func() {
+					src.lanai.Use(eng.Now(), ackProcess)
+				})
+			}
+			deliver()
+		})
+}
+
+// Eager implements dev.Endpoint (gm_send into a pre-posted receive buffer).
+func (ep *endpoint) Eager(dst int, size int64, deliver func()) {
+	ep.transfer(dst, size+32, false, deliver)
+}
+
+// Control implements dev.Endpoint.
+func (ep *endpoint) Control(dst int, deliver func()) {
+	ep.transfer(dst, 64, false, deliver)
+}
+
+// Bulk implements dev.Endpoint (gm_directed_send, zero copy).
+func (ep *endpoint) Bulk(dst int, size int64, deliver func()) {
+	ep.transfer(dst, size, true, deliver)
+}
+
+var _ dev.Network = (*Network)(nil)
+var _ dev.Endpoint = (*endpoint)(nil)

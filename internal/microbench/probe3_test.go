@@ -1,0 +1,18 @@
+package microbench
+
+import (
+	"fmt"
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/units"
+)
+
+func TestProbeQSNReuse(t *testing.T) {
+	for _, pct := range []int{0, 50, 100} {
+		for _, s := range []int64{8 * units.KB, 16 * units.KB, 32 * units.KB} {
+			bw := ReuseBandwidth(cluster.QSN(), []int64{s}, pct)
+			fmt.Printf("QSN pct=%d size=%d bw=%.1f\n", pct, s, bw.Y[0])
+		}
+	}
+}

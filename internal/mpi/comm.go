@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpinet/internal/memreg"
+)
+
+// commWorldID is the context id of MPI_COMM_WORLD.
+const commWorldID = 0
+
+// Comm is a communicator: an ordered group of ranks with an isolated
+// matching context, produced by CommWorld or Split. Point-to-point and
+// collective traffic in different communicators never match each other,
+// exactly as MPI contexts guarantee.
+type Comm struct {
+	r     *Rank
+	id    int
+	ranks []int // world ranks; index = rank within this communicator
+	me    int   // my rank within this communicator
+}
+
+// CommWorld returns this rank's view of MPI_COMM_WORLD.
+func (r *Rank) CommWorld() *Comm {
+	ranks := make([]int, r.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Comm{r: r, id: commWorldID, ranks: ranks, me: r.Rank()}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the communicator's group size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a communicator rank to its world rank.
+func (c *Comm) WorldRank(rank int) int {
+	if rank < 0 || rank >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d outside communicator of size %d", rank, len(c.ranks)))
+	}
+	return c.ranks[rank]
+}
+
+// Send is a blocking send to a communicator rank.
+func (c *Comm) Send(buf memreg.Buf, dst, tag int) {
+	c.validateTag(tag)
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	req := ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, false)
+	c.r.waitOne(req)
+}
+
+// Recv is a blocking receive from a communicator rank (or AnySource).
+func (c *Comm) Recv(buf memreg.Buf, src, tag int) Status {
+	st := c.r.waitOne(c.Irecv(buf, src, tag))
+	st.Source = c.commRankOf(st.Source)
+	return st
+}
+
+// Isend starts a non-blocking send to a communicator rank.
+func (c *Comm) Isend(buf memreg.Buf, dst, tag int) *Request {
+	c.validateTag(tag)
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	return ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, true)
+}
+
+// Irecv starts a non-blocking receive from a communicator rank.
+func (c *Comm) Irecv(buf memreg.Buf, src, tag int) *Request {
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	worldSrc := AnySource
+	if src != AnySource {
+		worldSrc = c.WorldRank(src)
+	}
+	return ps.startRecv(c.r.p, buf, c.id, worldSrc, tag, true)
+}
+
+// Wait completes a request started on this communicator; receive statuses
+// report communicator ranks.
+func (c *Comm) Wait(req *Request) Status {
+	st := c.r.waitOne(req)
+	if !req.isSend {
+		st.Source = c.commRankOf(st.Source)
+	}
+	return st
+}
+
+func (c *Comm) validateTag(tag int) {
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+}
+
+func (c *Comm) commRankOf(worldRank int) int {
+	for i, w := range c.ranks {
+		if w == worldRank {
+			return i
+		}
+	}
+	return worldRank // e.g. zero-value statuses
+}
+
+// internal helpers mirroring Rank's, but communicator-scoped; used by the
+// generic collective algorithms.
+func (c *Comm) sendInternal(buf memreg.Buf, dst, tag int) {
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	req := ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, false)
+	c.r.waitOne(req)
+}
+
+func (c *Comm) isendInternal(buf memreg.Buf, dst, tag int) *Request {
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	return ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, true)
+}
+
+func (c *Comm) irecvInternal(buf memreg.Buf, src, tag int) *Request {
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	return ps.startRecv(c.r.p, buf, c.id, c.WorldRank(src), tag, true)
+}
+
+func (c *Comm) recvInternal(buf memreg.Buf, src, tag int) {
+	ps := c.r.ps
+	ps.poll(c.r.p)
+	req := ps.startRecv(c.r.p, buf, c.id, c.WorldRank(src), tag, false)
+	c.r.waitOne(req)
+}
+
+// Split partitions the communicator: members passing the same color form a
+// new communicator, ordered by (key, parent rank) — MPI_Comm_split
+// semantics. It is collective over the parent communicator and pays the
+// real agreement cost: a ring allgather of the color/key pairs. The values
+// themselves travel out of band (the simulator moves time, not bytes)
+// through a generation-keyed board, so back-to-back splits cannot observe
+// each other's postings.
+func (c *Comm) Split(color, key int) *Comm {
+	p := c.Size()
+	ps := c.r.ps
+	gen := ps.splitGen[c.id]
+	ps.splitGen[c.id] = gen + 1
+	board := ps.world.splitBoard(c.id, gen)
+	board[c.me] = [2]int{color, key}
+
+	// Agreement traffic: ring allgather of 8-byte entries over the parent.
+	// Completing it guarantees every member has posted to the board. It is
+	// profiled as the collective call MPI_Comm_split is.
+	c.r.collective("CommSplit", 8, func() {
+		if p == 1 {
+			return
+		}
+		entry := ps.scratch(8)
+		prev := (c.me - 1 + p) % p
+		next := (c.me + 1) % p
+		for s := 0; s < p-1; s++ {
+			rr := c.irecvInternal(entry, prev, tagSplit)
+			c.sendInternal(entry, next, tagSplit)
+			c.r.waitOne(rr)
+		}
+	})
+
+	// Build my group: members with my color, ordered by (key, parent rank).
+	type member struct{ key, rank int }
+	var group []member
+	for rank := 0; rank < p; rank++ {
+		ck, ok := board[rank]
+		if !ok {
+			panic("mpi: Split allgather completed with missing postings")
+		}
+		if ck[0] == color {
+			group = append(group, member{key: ck[1], rank: rank})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	worldRanks := make([]int, len(group))
+	me := 0
+	for i, m := range group {
+		worldRanks[i] = c.ranks[m.rank]
+		if m.rank == c.me {
+			me = i
+		}
+	}
+	return &Comm{r: c.r, id: ps.world.commID(worldRanks), ranks: worldRanks, me: me}
+}
+
+// Dup duplicates the communicator with a fresh matching context
+// (MPI_Comm_dup): traffic on the duplicate never matches the original's.
+func (c *Comm) Dup() *Comm {
+	// Context agreement costs a barrier-equivalent round, profiled as the
+	// collective call it is.
+	c.r.collective("CommDup", 0, func() {
+		if c.Size() == 1 {
+			return
+		}
+		entry := c.r.ps.scratch(8)
+		p := c.Size()
+		prev := (c.me - 1 + p) % p
+		next := (c.me + 1) % p
+		rr := c.irecvInternal(entry, prev, tagSplit)
+		c.sendInternal(entry, next, tagSplit)
+		c.r.waitOne(rr)
+	})
+	gen := c.r.ps.splitGen[c.id]
+	c.r.ps.splitGen[c.id] = gen + 1
+	ranks := append([]int(nil), c.ranks...)
+	id := c.r.ps.world.commID(append(append([]int(nil), ranks...), -1-gen))
+	return &Comm{r: c.r, id: id, ranks: ranks, me: c.me}
+}
+
+// tagSplit is the internal tag for Split/Dup agreement traffic.
+const tagSplit = -17
+
+// commID returns a stable context id for a rank list, identical across all
+// members (the simulation analogue of context-id agreement).
+func (w *World) commID(ranks []int) int {
+	key := rankKey(ranks)
+	if id, ok := w.commIDs[key]; ok {
+		return id
+	}
+	w.nextComm++
+	w.commIDs[key] = w.nextComm
+	return w.nextComm
+}
+
+// splitBoard returns the posting board for one Split generation on a
+// parent communicator.
+func (w *World) splitBoard(parentComm, gen int) map[int][2]int {
+	key := [2]int{parentComm, gen}
+	b, ok := w.splitBoards[key]
+	if !ok {
+		b = make(map[int][2]int)
+		w.splitBoards[key] = b
+	}
+	return b
+}
+
+func rankKey(ranks []int) string {
+	parts := make([]string, len(ranks))
+	for i, r := range ranks {
+		parts[i] = fmt.Sprint(r)
+	}
+	return strings.Join(parts, ",")
+}

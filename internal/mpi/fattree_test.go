@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/sim"
+	"mpinet/internal/units"
+)
+
+func TestFatTreeWorldRuns(t *testing.T) {
+	// 32 nodes — impossible on any single switch in the repertoire.
+	w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+	if err := w.Run(func(r *Rank) {
+		buf := r.Malloc(4096)
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		r.Sendrecv(buf, next, 0, buf, prev, 0)
+		r.Allreduce(r.Malloc(64))
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatTreeLatencyHierarchy(t *testing.T) {
+	// Same-leaf pairs are one hop; cross-leaf pairs three. Latency must
+	// reflect it, modestly.
+	measure := func(dst int) sim.Time {
+		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		var rtt sim.Time
+		if err := w.Run(func(r *Rank) {
+			buf := r.Malloc(64)
+			switch r.Rank() {
+			case 0:
+				start := r.Wtime()
+				for i := 0; i < 8; i++ {
+					r.Send(buf, dst, 0)
+					r.Recv(buf, dst, 1)
+				}
+				rtt = (r.Wtime() - start) / 8
+			case dst:
+				for i := 0; i < 8; i++ {
+					r.Recv(buf, 0, 0)
+					r.Send(buf, 0, 1)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rtt
+	}
+	sameLeaf := measure(1)   // leaf 0
+	crossLeaf := measure(17) // leaf 1
+	if crossLeaf <= sameLeaf {
+		t.Fatalf("cross-leaf RTT %v not above same-leaf %v", crossLeaf, sameLeaf)
+	}
+	if crossLeaf > sameLeaf+2*units.Microsecond {
+		t.Fatalf("cross-leaf penalty implausibly large: %v vs %v", crossLeaf, sameLeaf)
+	}
+}
+
+func TestFatTreeScalableBandwidth(t *testing.T) {
+	// Pairwise disjoint cross-leaf streams: the fabric must sustain several
+	// concurrently (that is what the spines are for). 8 pairs, each
+	// crossing leaves, should finish in about the single-pair time when the
+	// spine budget suffices.
+	run := func(pairs int) sim.Time {
+		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		size := int64(2 * units.MB)
+		if err := w.Run(func(r *Rank) {
+			// Pair i: rank i (leaf 0) <-> rank 16+i (leaf 1).
+			if r.Rank() < pairs {
+				r.Send(r.Malloc(size), 16+r.Rank(), 0)
+			} else if r.Rank() >= 16 && r.Rank() < 16+pairs {
+				r.Recv(r.Malloc(size), r.Rank()-16, 0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	one := run(1)
+	eight := run(8)
+	// With 8 spines and deterministic ECMP by destination, eight pairs to
+	// eight distinct destinations spread over all up-links: allow modest
+	// slowdown, not 8x serialization.
+	if float64(eight) > float64(one)*2.5 {
+		t.Fatalf("8 pairs took %v vs single pair %v — spines not providing bandwidth", eight, one)
+	}
+}
+
+func TestFatTreeOversubscriptionContention(t *testing.T) {
+	// 16 hosts per leaf with 8 up-links is 2:1 oversubscribed: 8 cross-leaf
+	// streams get an up-link each (no slowdown over one stream), while 16
+	// streams share them pairwise and the bulk phase stretches.
+	run := func(streams int) sim.Time {
+		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		size := int64(2 * units.MB)
+		if err := w.Run(func(r *Rank) {
+			if r.Rank() < streams {
+				r.Send(r.Malloc(size), 16+r.Rank(), 0)
+			} else if r.Rank() >= 16 && r.Rank() < 16+streams {
+				r.Recv(r.Malloc(size), r.Rank()-16, 0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	one := run(1)
+	eight := run(8)
+	sixteen := run(16)
+	if float64(eight) > float64(one)*1.1 {
+		t.Fatalf("8 disjoint streams (%v) slower than one (%v)", eight, one)
+	}
+	if float64(sixteen) < float64(eight)*1.2 {
+		t.Fatalf("oversubscription invisible: 8 streams %v, 16 streams %v", eight, sixteen)
+	}
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"mpinet/internal/dev"
+	"mpinet/internal/memreg"
+	"mpinet/internal/sim"
+	"mpinet/internal/trace"
+)
+
+// procState is the per-rank library state: queues, progress engine,
+// endpoint, accounting. It is manipulated both by the rank's own process
+// (inside MPI calls) and by delivery events from the hardware models; the
+// cooperative scheduler guarantees mutual exclusion.
+type procState struct {
+	world *World
+	rank  int
+	node  int
+	ep    dev.Endpoint
+	as    *memreg.AddressSpace
+	prof  *trace.Profile
+
+	posted []*Request // receive queue, post order
+	unexp  []*inMsg   // unexpected messages, arrival order
+
+	actions  []func(p *sim.Proc) // host-driven protocol steps pending
+	progress sim.Cond
+
+	hostBusy sim.Time
+	sendSeq  int64
+
+	// quiet suppresses point-to-point profiling while a collective runs so
+	// the profile records the collective call, not its decomposition.
+	quiet bool
+	// Hardware-multicast bookkeeping: payloads delivered to this rank and
+	// payloads its Bcast calls have consumed.
+	mcSeen  int64
+	mcTaken int64
+	// splitGen counts Split/Dup invocations per parent communicator so
+	// agreement boards never collide across generations.
+	splitGen map[int]int
+	// collScratch is a reusable buffer for collective intermediates.
+	collScratch memreg.Buf
+}
+
+// scratch returns a persistent buffer of at least size bytes for collective
+// intermediates. Persistence matters: it keeps the registration caches warm,
+// as real implementations' internal buffers do.
+func (ps *procState) scratch(size int64) memreg.Buf {
+	if ps.collScratch.Size < size {
+		ps.collScratch = ps.as.Alloc(size)
+	}
+	return ps.collScratch.Slice(0, size)
+}
+
+// msgKind distinguishes protocol messages at the receiver.
+type msgKind int
+
+const (
+	eagerMsg msgKind = iota
+	rtsMsg
+)
+
+// chKind records which channel carried a message.
+type chKind int
+
+const (
+	chNet chKind = iota
+	chShm
+)
+
+// inMsg is an arrived-but-not-completed message at the receiver.
+type inMsg struct {
+	comm     int // communicator context id
+	src, tag int // src is a world rank
+	size     int64
+	seq      int64
+	kind     msgKind
+	ch       chKind
+	sender   *Request // rendezvous: the sender's request, for CTS routing
+	matched  bool
+}
+
+// record appends a timeline event if the world collects one.
+func (ps *procState) record(kind trace.EventKind, peer, tag, comm int, size int64) {
+	tl := ps.world.cfg.Timeline
+	if tl == nil {
+		return
+	}
+	tl.Add(trace.Event{
+		At: ps.world.eng.Now(), Rank: ps.rank, Kind: kind,
+		Peer: peer, Tag: tag, Comm: comm, Size: size,
+	})
+}
+
+// busy charges host CPU time to this rank. It must be called from the
+// rank's own process.
+func (ps *procState) busy(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	ps.hostBusy += d
+	p.Sleep(d)
+}
+
+// enqueue adds a host-driven protocol step and pokes the progress engine so
+// a rank parked inside an MPI call picks it up immediately. Steps enqueued
+// while the rank computes outside MPI wait for its next MPI call — exactly
+// the host-driven rendezvous limitation the overlap benchmark measures.
+func (ps *procState) enqueue(step func(p *sim.Proc)) {
+	ps.actions = append(ps.actions, step)
+	ps.progress.Broadcast()
+}
+
+// poll runs all pending protocol steps, charging their host cost. Called on
+// entry to every MPI operation and inside progress waits.
+func (ps *procState) poll(p *sim.Proc) {
+	for len(ps.actions) > 0 {
+		step := ps.actions[0]
+		ps.actions = ps.actions[1:]
+		step(p)
+	}
+}
+
+// waitFor blocks the rank inside the MPI library until pred holds,
+// executing protocol steps as they arrive.
+func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
+	for {
+		ps.poll(p)
+		if pred() {
+			return
+		}
+		ps.progress.Wait(p, why)
+	}
+}
+
+// notify wakes the rank if it is parked in a progress wait (used by
+// completion events that involve no host work).
+func (ps *procState) notify() {
+	ps.progress.Broadcast()
+}
+
+// match scans the posted queue for a request matching an arrival. Matching
+// is scoped by communicator context, then by (source, tag) with wildcards.
+func (ps *procState) matchPosted(comm, src, tag int) *Request {
+	for _, r := range ps.posted {
+		if r.done || r.matched != nil || r.comm != comm {
+			continue
+		}
+		if (r.src == AnySource || r.src == src) && (r.tag == AnyTag || r.tag == tag) {
+			return r
+		}
+	}
+	return nil
+}
+
+// matchUnexpected scans arrivals for one matching a freshly posted receive.
+func (ps *procState) matchUnexpected(comm, src, tag int) *inMsg {
+	for _, m := range ps.unexp {
+		if m.matched || m.comm != comm {
+			continue
+		}
+		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			return m
+		}
+	}
+	return nil
+}
+
+// removePosted drops a completed request from the posted queue.
+func (ps *procState) removePosted(r *Request) {
+	for i, x := range ps.posted {
+		if x == r {
+			ps.posted = append(ps.posted[:i], ps.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeUnexpected drops a consumed arrival.
+func (ps *procState) removeUnexpected(m *inMsg) {
+	for i, x := range ps.unexp {
+		if x == m {
+			ps.unexp = append(ps.unexp[:i], ps.unexp[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpinet/internal/dev"
+	"mpinet/internal/memreg"
+	"mpinet/internal/sim"
+	"mpinet/internal/trace"
+	"mpinet/internal/units"
+)
+
+// Fixed library costs of the device-independent layer.
+const (
+	// postCost is the bookkeeping cost of queueing a receive that cannot
+	// complete immediately (host-driven devices; NIC-matching devices pay
+	// their full receive overhead at post instead).
+	postCost = 100 * units.Nanosecond
+	// rndvStep is the host cost of one rendezvous protocol step (parsing an
+	// RTS/CTS, building the reply descriptor) on host-driven devices.
+	rndvStep = 300 * units.Nanosecond
+)
+
+// isendImpl starts a send and returns its request. Blocking Send is
+// isendImpl + Wait.
+func (ps *procState) isendImpl(p *sim.Proc, buf memreg.Buf, dst, tag int, nonblocking bool) *Request {
+	if dst < 0 || dst >= ps.world.Size() {
+		panic(fmt.Sprintf("mpi: rank %d sending to invalid rank %d", ps.rank, dst))
+	}
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+	ps.poll(p)
+	return ps.startSend(p, buf, commWorldID, dst, tag, nonblocking)
+}
+
+// startSend is isendImpl minus validation/polling, shared with internal
+// collective traffic (which uses reserved negative tags).
+func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, nonblocking bool) *Request {
+	dstPS := ps.world.procs[dst]
+	sameNode := dstPS.node == ps.node
+	if !ps.quiet {
+		ps.prof.Send(buf, sameNode, nonblocking)
+	}
+
+	req := &Request{
+		ps:     ps,
+		isSend: true,
+		buf:    buf,
+		comm:   comm,
+		peer:   dst,
+		tag:    tag,
+		size:   buf.Size,
+	}
+	ps.sendSeq++
+	req.seq = ps.sendSeq
+	ps.record(trace.EvSendStart, dst, tag, comm, buf.Size)
+
+	switch {
+	case sameNode && buf.Size < ps.world.shmemBelow():
+		ps.shmSend(p, req, dstPS)
+	case buf.Size <= ps.ep.EagerThreshold():
+		ps.eagerSend(p, req, dstPS)
+	default:
+		ps.rndvSend(p, req, dstPS)
+	}
+	return req
+}
+
+// shmSend crosses the intra-node shared-memory channel: the sender copies
+// into the shared segment and the message is visible a half-handshake later.
+func (ps *procState) shmSend(p *sim.Proc, req *Request, dstPS *procState) {
+	ch := ps.world.shm[ps.node]
+	ps.busy(p, ch.HalfHandshake()+ch.CopyTime(req.size))
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chShm}
+	ch.Deliver(func() { dstPS.arrive(m) })
+	req.done = true
+	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
+}
+
+// eagerSend copies into pre-registered staging (VAPI/GM) or hands the user
+// buffer to the NIC (Elan) and pushes envelope+payload through the wire.
+func (ps *procState) eagerSend(p *sim.Proc, req *Request, dstPS *procState) {
+	cost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size)
+	if ps.ep.AcquireOnEager() {
+		cost += ps.ep.AcquireBuf(req.buf)
+	} else {
+		cost += ps.ep.CopyTime(req.size)
+	}
+	ps.busy(p, cost)
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chNet}
+	ps.ep.Eager(dstPS.node, req.size, func() { dstPS.arrive(m) })
+	req.done = true
+	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
+}
+
+// rndvSend opens the rendezvous: register the buffer, send RTS, and wait
+// for the CTS/data exchange to complete the request.
+func (ps *procState) rndvSend(p *sim.Proc, req *Request, dstPS *procState) {
+	req.rndv = true
+	cost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size) + ps.ep.AcquireBuf(req.buf)
+	ps.busy(p, cost)
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: rtsMsg, ch: chNet, sender: req}
+	ps.ep.Control(dstPS.node, func() { dstPS.arrive(m) })
+}
+
+// arrive handles a message landing at this rank (event context: no host
+// time may be charged here). On NIC-matching devices (Tports) the match
+// itself takes NIC time proportional to the pending-entry count.
+func (ps *procState) arrive(m *inMsg) {
+	if nm, ok := ps.ep.(dev.NICMatcher); ok && m.ch == chNet {
+		pending := len(ps.posted) + len(ps.unexp)
+		nm.MatchDelay(pending, func() { ps.arriveMatched(m) })
+		return
+	}
+	ps.arriveMatched(m)
+}
+
+func (ps *procState) arriveMatched(m *inMsg) {
+	ps.record(trace.EvArrive, m.src, m.tag, m.comm, m.size)
+	r := ps.matchPosted(m.comm, m.src, m.tag)
+	if r == nil {
+		ps.unexp = append(ps.unexp, m)
+		ps.notify()
+		return
+	}
+	r.matched = m
+	m.matched = true
+	switch m.kind {
+	case eagerMsg:
+		ps.deliverEager(r, m, false)
+	case rtsMsg:
+		ps.acceptRndv(r, m, false)
+	}
+}
+
+// deliverEager completes a matched eager receive. inline reports whether we
+// are already running on the receiving rank's process (receive posted
+// against an unexpected arrival) — then p is valid and costs are paid
+// directly; otherwise a host action is enqueued (or, for NIC-matching
+// devices with a pre-posted receive, completion is free and immediate).
+func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*sim.Proc) {
+	finish := func() { r.complete(m.src, m.tag, m.size) }
+	switch {
+	case m.ch == chShm:
+		ch := ps.world.shm[ps.node]
+		cost := ch.HalfHandshake() + ch.CopyTime(m.size)
+		if inline {
+			ps.busy(pOpt[0], cost)
+			finish()
+		} else {
+			ps.enqueue(func(p *sim.Proc) { ps.busy(p, cost); finish() })
+		}
+	case ps.ep.NICProgress() && !inline:
+		// Pre-posted receive on a NIC-matching device: payload lands in the
+		// user buffer with no host involvement.
+		finish()
+	case ps.ep.NICProgress() && inline:
+		// Unexpected on a NIC-matching device: drain from NIC buffering.
+		ps.busy(pOpt[0], ps.ep.CopyTime(m.size))
+		finish()
+	default:
+		cost := ps.ep.RecvOverhead(m.size) + ps.ep.CopyTime(m.size)
+		if inline {
+			ps.busy(pOpt[0], cost)
+			finish()
+		} else {
+			ps.enqueue(func(p *sim.Proc) { ps.busy(p, cost); finish() })
+		}
+	}
+}
+
+// acceptRndv reacts to a matched RTS: make the receive buffer NIC-usable
+// and send the CTS. On NIC-matching devices the NIC does this without the
+// host.
+func (ps *procState) acceptRndv(r *Request, m *inMsg, inline bool, pOpt ...*sim.Proc) {
+	sendCTS := func() {
+		srcPS := ps.world.procs[m.src]
+		ps.ep.Control(srcPS.node, func() { srcPS.arriveCTS(m, ps, r) })
+	}
+	switch {
+	case ps.ep.NICProgress():
+		// Buffer acquisition was paid when the receive was posted.
+		sendCTS()
+	case inline:
+		ps.busy(pOpt[0], rndvStep+ps.ep.AcquireBuf(r.buf))
+		sendCTS()
+	default:
+		ps.enqueue(func(p *sim.Proc) {
+			ps.busy(p, rndvStep+ps.ep.AcquireBuf(r.buf))
+			sendCTS()
+		})
+	}
+}
+
+// arriveCTS reacts, at the sender, to the receiver's clear-to-send: start
+// the zero-copy bulk transfer.
+func (ps *procState) arriveCTS(m *inMsg, dstPS *procState, r *Request) {
+	startBulk := func() {
+		ps.ep.Bulk(dstPS.node, m.size, func() {
+			// Payload is in the receiver's user buffer.
+			m.sender.completeSend()
+			if dstPS.ep.NICProgress() {
+				r.complete(m.src, m.tag, m.size)
+			} else {
+				dstPS.enqueue(func(p *sim.Proc) {
+					dstPS.busy(p, dstPS.ep.RecvOverhead(m.size))
+					r.complete(m.src, m.tag, m.size)
+				})
+			}
+		})
+	}
+	if ps.ep.NICProgress() {
+		startBulk()
+		return
+	}
+	ps.enqueue(func(p *sim.Proc) {
+		ps.busy(p, rndvStep)
+		startBulk()
+	})
+}
+
+// irecvImpl posts a receive and returns its request.
+func (ps *procState) irecvImpl(p *sim.Proc, buf memreg.Buf, src, tag int, nonblocking bool) *Request {
+	if src != AnySource && (src < 0 || src >= ps.world.Size()) {
+		panic(fmt.Sprintf("mpi: rank %d receiving from invalid rank %d", ps.rank, src))
+	}
+	ps.poll(p)
+	return ps.startRecv(p, buf, commWorldID, src, tag, nonblocking)
+}
+
+// startRecv is irecvImpl minus validation/polling, shared with collectives.
+func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, nonblocking bool) *Request {
+	sameNode := src != AnySource && ps.world.procs[src].node == ps.node
+	if !ps.quiet {
+		ps.prof.Recv(buf, sameNode, nonblocking)
+	}
+
+	r := &Request{
+		ps:   ps,
+		buf:  buf,
+		comm: comm,
+		src:  src,
+		tag:  tag,
+		size: buf.Size,
+	}
+	ps.record(trace.EvRecvPost, src, tag, comm, buf.Size)
+	if m := ps.matchUnexpected(comm, src, tag); m != nil {
+		m.matched = true
+		r.matched = m
+		ps.removeUnexpected(m)
+		// Keep the request discoverable for completion bookkeeping.
+		ps.posted = append(ps.posted, r)
+		switch m.kind {
+		case eagerMsg:
+			ps.deliverEager(r, m, true, p)
+		case rtsMsg:
+			if ps.ep.NICProgress() {
+				ps.busy(p, ps.ep.RecvOverhead(buf.Size)+ps.ep.AcquireBuf(buf))
+			}
+			ps.acceptRndv(r, m, true, p)
+		}
+		return r
+	}
+	// Nothing has arrived: queue the receive first — an arrival during the
+	// posting cost below must find it — then charge the cost.
+	ps.posted = append(ps.posted, r)
+	if ps.ep.NICProgress() {
+		// Tports posts the descriptor (and MMU entries) to the NIC now.
+		ps.busy(p, ps.ep.RecvOverhead(buf.Size)+ps.ep.AcquireBuf(buf))
+	} else {
+		ps.busy(p, postCost)
+	}
+	return r
+}

@@ -1,0 +1,61 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpinet/internal/memreg"
+	"mpinet/internal/trace"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int64
+}
+
+// Request is a non-blocking operation handle, completed through Wait /
+// Waitall.
+type Request struct {
+	ps     *procState
+	isSend bool
+	buf    memreg.Buf
+	comm   int // communicator context id
+	peer   int // destination (sends) — senders always name their target
+	src    int // source pattern (receives); may be AnySource
+	tag    int
+	size   int64
+	seq    int64
+	rndv   bool
+	done   bool
+
+	matched *inMsg // receives: the arrival this request is bound to
+	status  Status
+}
+
+// Done reports whether the operation has completed (MPI_Test without the
+// progress side effects; use Rank.Test to also drive progress).
+func (r *Request) Done() bool { return r.done }
+
+// complete marks a receive finished and detaches it from the queues.
+func (r *Request) complete(src, tag int, size int64) {
+	if size > r.buf.Size {
+		// MPI_ERR_TRUNCATE: the payload does not fit the posted buffer. As
+		// in an MPI run with errors-are-fatal, that is a hard stop naming
+		// the culprit.
+		panic(fmt.Sprintf("mpi: rank %d: message truncation: %d-byte message from rank %d (tag %d) into %d-byte buffer",
+			r.ps.rank, size, src, tag, r.buf.Size))
+	}
+	r.done = true
+	r.status = Status{Source: src, Tag: tag, Size: size}
+	r.ps.removePosted(r)
+	r.ps.record(trace.EvRecvDone, src, tag, r.comm, size)
+	r.ps.notify()
+}
+
+// completeSend marks a send finished.
+func (r *Request) completeSend() {
+	r.done = true
+	r.ps.record(trace.EvSendDone, r.peer, r.tag, r.comm, r.size)
+	r.ps.notify()
+}

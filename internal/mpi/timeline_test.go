@@ -1,0 +1,95 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/trace"
+)
+
+func TestTimelineRecordsMessageLifecycle(t *testing.T) {
+	tl := &trace.Timeline{}
+	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2, Timeline: tl})
+	if err := w.Run(func(r *Rank) {
+		buf := r.Malloc(1024)
+		if r.Rank() == 0 {
+			r.Send(buf, 1, 7)
+		} else {
+			r.Recv(buf, 0, 7)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := tl.Stats()
+	for _, k := range []trace.EventKind{trace.EvSendStart, trace.EvSendDone,
+		trace.EvRecvPost, trace.EvArrive, trace.EvRecvDone} {
+		if counts[k] != 1 {
+			t.Errorf("%v count = %d, want 1 (events: %d)", k, counts[k], len(tl.Events))
+		}
+	}
+	// Causality: times must be non-decreasing per kind pairings.
+	var start, arrive, done int64 = -1, -1, -1
+	for _, e := range tl.Events {
+		switch e.Kind {
+		case trace.EvSendStart:
+			start = int64(e.At)
+		case trace.EvArrive:
+			arrive = int64(e.At)
+		case trace.EvRecvDone:
+			done = int64(e.At)
+		}
+	}
+	if !(start <= arrive && arrive <= done) {
+		t.Fatalf("causality violated: start=%d arrive=%d done=%d", start, arrive, done)
+	}
+}
+
+func TestTimelineRendezvousEvents(t *testing.T) {
+	tl := &trace.Timeline{}
+	w := NewWorld(Config{Net: cluster.Myri().New(2), Procs: 2, Timeline: tl})
+	size := int64(128 * 1024)
+	if err := w.Run(func(r *Rank) {
+		buf := r.Malloc(size)
+		if r.Rank() == 0 {
+			r.Send(buf, 1, 0)
+		} else {
+			r.Recv(buf, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := tl.Stats()
+	// Rendezvous: send-done fires only after the bulk lands.
+	if counts[trace.EvSendDone] != 1 || counts[trace.EvRecvDone] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	var sendStart, sendDone trace.Event
+	for _, e := range tl.Events {
+		if e.Kind == trace.EvSendStart {
+			sendStart = e
+		}
+		if e.Kind == trace.EvSendDone {
+			sendDone = e
+		}
+	}
+	// The gap between send start and completion must cover the transfer
+	// (hundreds of microseconds at 128KB over Myrinet).
+	if sendDone.At-sendStart.At < 100000*1000 { // 100us in ps
+		t.Fatalf("rendezvous send completed too fast: %v -> %v", sendStart.At, sendDone.At)
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	if err := w.Run(func(r *Rank) {
+		buf := r.Malloc(64)
+		if r.Rank() == 0 {
+			r.Send(buf, 1, 0)
+		} else {
+			r.Recv(buf, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to assert beyond "no crash": recording is nil-guarded.
+}

@@ -1,0 +1,216 @@
+// Package mpi implements an MPICH-style MPI library on top of the simulated
+// interconnects: the eager and rendezvous point-to-point protocols with
+// posted/unexpected queues and tag matching, non-blocking operations with an
+// explicit progress engine, the collectives the paper's workloads use
+// (implemented over point-to-point, as MPICH 1.2.x does), an intra-node
+// shared-memory channel, per-rank profiling, and memory-usage accounting.
+//
+// The division of labour mirrors MPICH's ADI2: this package is the
+// device-independent layer; everything interconnect-specific enters through
+// dev.Endpoint (see internal/dev).
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"mpinet/internal/dev"
+	"mpinet/internal/memreg"
+	"mpinet/internal/shmem"
+	"mpinet/internal/sim"
+	"mpinet/internal/trace"
+)
+
+// Mapping selects how ranks are placed on nodes.
+type Mapping int
+
+// Mappings. Block fills each node before moving on (the paper's SMP runs
+// use block mapping); Cyclic deals ranks round-robin.
+const (
+	Block Mapping = iota
+	Cyclic
+)
+
+// Config describes an MPI job on a wired network.
+type Config struct {
+	// Net is the interconnect the job runs on.
+	Net dev.Network
+	// Procs is the number of MPI ranks.
+	Procs int
+	// ProcsPerNode is how many ranks share a node (default 1).
+	ProcsPerNode int
+	// Mapping is the rank-to-node placement (default Block).
+	Mapping Mapping
+	// Timeline, when non-nil, collects message-level events from the run
+	// (see trace.Timeline).
+	Timeline *trace.Timeline
+}
+
+// World is one MPI job: a set of ranks wired to a network, ready to Run a
+// program.
+type World struct {
+	eng   *sim.Engine
+	cfg   Config
+	procs []*procState
+	shm   map[int]*shmem.Channel
+	start sim.Time
+	end   sim.Time
+
+	// Communicator-context bookkeeping (see comm.go).
+	commIDs     map[string]int
+	nextComm    int
+	splitBoards map[[2]int]map[int][2]int
+}
+
+// NewWorld validates the configuration and builds per-rank state.
+func NewWorld(cfg Config) *World {
+	if cfg.Net == nil {
+		panic("mpi: Config.Net is required")
+	}
+	if cfg.Procs < 1 {
+		panic("mpi: need at least one process")
+	}
+	if cfg.ProcsPerNode < 1 {
+		cfg.ProcsPerNode = 1
+	}
+	nodes := cfg.Net.Nodes()
+	if cfg.Procs > nodes*cfg.ProcsPerNode {
+		panic(fmt.Sprintf("mpi: %d procs do not fit on %d nodes x %d", cfg.Procs, nodes, cfg.ProcsPerNode))
+	}
+	w := &World{
+		eng:         cfg.Net.Engine(),
+		cfg:         cfg,
+		shm:         make(map[int]*shmem.Channel),
+		commIDs:     make(map[string]int),
+		splitBoards: make(map[[2]int]map[int][2]int),
+	}
+	type shmemConfigurer interface{ ShmemConfig() shmem.Config }
+	shmCfg := shmem.DefaultConfig()
+	if sc, ok := cfg.Net.(shmemConfigurer); ok {
+		shmCfg = sc.ShmemConfig()
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		node := w.nodeOf(r)
+		if _, ok := w.shm[node]; !ok {
+			w.shm[node] = shmem.New(w.eng, shmCfg)
+		}
+		ps := &procState{
+			world:    w,
+			rank:     r,
+			node:     node,
+			ep:       cfg.Net.NewEndpoint(node),
+			as:       memreg.NewAddressSpace(),
+			prof:     trace.New(),
+			splitGen: make(map[int]int),
+		}
+		w.procs = append(w.procs, ps)
+	}
+	return w
+}
+
+// nodeOf maps a rank to its node under the configured mapping.
+func (w *World) nodeOf(rank int) int {
+	switch w.cfg.Mapping {
+	case Cyclic:
+		nodes := (w.cfg.Procs + w.cfg.ProcsPerNode - 1) / w.cfg.ProcsPerNode
+		return rank % nodes
+	default: // Block
+		return rank / w.cfg.ProcsPerNode
+	}
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Procs }
+
+// Run executes main on every rank concurrently (in simulated time) and
+// drives the simulation to completion. It returns the error from the event
+// loop — notably sim.DeadlockError if the program hangs, the simulation
+// analogue of a stuck MPI job.
+func (w *World) Run(main func(r *Rank)) error {
+	w.start = w.eng.Now()
+	for _, ps := range w.procs {
+		ps := ps
+		w.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
+			main(&Rank{p: p, ps: ps})
+		})
+	}
+	err := w.eng.Run()
+	w.end = w.eng.Now()
+	return err
+}
+
+// Elapsed returns the simulated wall-clock time of the last Run.
+func (w *World) Elapsed() sim.Time { return w.end - w.start }
+
+// Profile returns the communication profile of a rank.
+func (w *World) Profile(rank int) *trace.Profile { return w.procs[rank].prof }
+
+// AggregateProfile merges all ranks' profiles.
+func (w *World) AggregateProfile() *trace.Profile {
+	agg := trace.New()
+	for _, ps := range w.procs {
+		agg.Merge(ps.prof)
+	}
+	return agg
+}
+
+// HostBusy returns the accumulated host CPU time a rank spent inside the
+// MPI library (the quantity behind the paper's host-overhead figure).
+func (w *World) HostBusy(rank int) sim.Time { return w.procs[rank].hostBusy }
+
+// MemoryUsage returns the library + device memory footprint of one rank
+// once fully connected (Figure 13's quantity). It comprises the device's
+// per-connection resources and shared-memory segments toward co-located
+// ranks.
+func (w *World) MemoryUsage(rank int) int64 {
+	ps := w.procs[rank]
+	peers := w.cfg.Procs - 1
+	mem := ps.ep.MemoryUsage(peers)
+	if ch, ok := w.shm[ps.node]; ok {
+		co := 0
+		for r := 0; r < w.cfg.Procs; r++ {
+			if r != rank && w.nodeOf(r) == ps.node {
+				co++
+			}
+		}
+		mem += int64(co) * ch.SegmentSize()
+	}
+	return mem
+}
+
+// Utilizations returns per-resource busy-time accounting when the network
+// supports it (all built-in devices do), or nil.
+func (w *World) Utilizations() []dev.Utilization {
+	if ur, ok := w.cfg.Net.(dev.UtilizationReporter); ok {
+		return ur.Utilizations()
+	}
+	return nil
+}
+
+// shmemBelow is the interconnect's intra-node channel policy.
+func (w *World) shmemBelow() int64 {
+	if len(w.shm) == 0 {
+		return 0
+	}
+	return w.cfg.Net.ShmemBelow()
+}
+
+// internal tag space for collectives; user tags must be non-negative.
+const (
+	tagBarrier   = -10
+	tagBcast     = -11
+	tagReduce    = -12
+	tagAllreduce = -13
+	tagAlltoall  = -14
+	tagAllgather = -15
+	tagGather    = -16
+)
+
+// AnySource matches any sending rank in Recv/Irecv.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv/Irecv.
+const AnyTag = math.MinInt32

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the figure as comma-separated values: one row per X value,
+// one column per curve — ready for external plotting tools.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	cols := []string{csvEscape(f.XLabel)}
+	for _, c := range f.Curves {
+		cols = append(cols, csvEscape(c.Label))
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	if len(f.Curves) == 0 {
+		return b.String()
+	}
+	for i := range f.Curves[0].X {
+		row := []string{fmt.Sprint(f.Curves[0].X[i])}
+		for _, c := range f.Curves {
+			if i < len(c.Y) {
+				row = append(row, fmt.Sprintf("%g", c.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			esc[i] = csvEscape(c)
+		}
+		b.WriteString(strings.Join(esc, ","))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// csvEscape quotes a field when it contains separators or quotes.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

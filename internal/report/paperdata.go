@@ -1,0 +1,112 @@
+package report
+
+// Reference values transcribed from the paper (Liu et al., SC'03). Figures
+// are quoted where the text states exact numbers; table data is complete.
+// These drive the paper-vs-simulated comparisons in EXPERIMENTS.md.
+
+// PaperMicro holds the micro-benchmark anchors the paper's text quotes
+// (Section 3). Keys: metric name -> network -> value.
+var PaperMicro = map[string]map[string]float64{
+	"latency_4B_us":        {"IBA": 6.8, "Myri": 6.7, "QSN": 4.6},
+	"peak_bw_MBs":          {"IBA": 841, "Myri": 235, "QSN": 308},
+	"overhead_us":          {"IBA": 1.7, "Myri": 0.8, "QSN": 3.3},
+	"bidir_latency_us":     {"IBA": 7.0, "Myri": 10.1, "QSN": 7.4},
+	"bidir_bw_MBs":         {"IBA": 900, "Myri": 473, "QSN": 375},
+	"intra_latency_us":     {"IBA": 1.6, "Myri": 1.3},
+	"alltoall_small_us":    {"IBA": 31, "Myri": 36, "QSN": 67},
+	"allreduce_small_us":   {"IBA": 46, "Myri": 35, "QSN": 28},
+	"iba_pci_bw_MBs":       {"IBA-PCI": 378},
+	"iba_pci_latency_d_us": {"IBA-PCI": 0.6},
+}
+
+// PaperTable2 is the paper's Table 2: class B execution times in seconds on
+// the 8-node OSU cluster, by network and node count. A zero means the paper
+// has no entry (FT does not fit on 2 nodes).
+var PaperTable2 = map[string]map[string][3]float64{
+	"IS":      {"IBA": {6.73, 3.30, 1.78}, "Myri": {7.86, 4.99, 2.89}, "QSN": {7.04, 4.71, 2.47}},
+	"CG":      {"IBA": {132.26, 81.64, 28.68}, "Myri": {135.76, 74.36, 29.65}, "QSN": {135.05, 73.10, 30.12}},
+	"MG":      {"IBA": {23.60, 13.41, 5.81}, "Myri": {25.77, 14.87, 6.29}, "QSN": {24.07, 13.75, 6.04}},
+	"LU":      {"IBA": {648.53, 319.57, 165.53}, "Myri": {708.43, 338.70, 170.70}, "QSN": {667.30, 314.55, 168.18}},
+	"FT":      {"IBA": {0, 75.50, 37.92}, "Myri": {0, 82.74, 41.40}, "QSN": {0, 81.89, 43.23}},
+	"S3D-50":  {"IBA": {13.58, 7.18, 3.59}, "Myri": {13.33, 6.96, 3.57}, "QSN": {14.94, 7.37, 4.38}},
+	"S3D-150": {"IBA": {346.43, 179.35, 91.43}, "Myri": {339.22, 176.94, 89.66}, "QSN": {343.60, 177.66, 95.99}},
+}
+
+// Table2Procs are the process counts of Table 2's columns.
+var Table2Procs = [3]int{2, 4, 8}
+
+// PaperTable1 is the message-size distribution per process (Table 1):
+// counts of point-to-point and collective calls in the four size classes
+// <2K, 2K-16K, 16K-1M, >1M.
+var PaperTable1 = map[string][4]int64{
+	"IS":      {14, 11, 0, 11},
+	"CG":      {16113, 0, 11856, 0},
+	"MG":      {1607, 630, 3702, 0},
+	"LU":      {100021, 0, 1008, 0},
+	"FT":      {24, 0, 0, 22},
+	"SP":      {9, 0, 9636, 0},
+	"BT":      {9, 0, 4836, 0},
+	"S3D-50":  {19236, 0, 0, 0},
+	"S3D-150": {28836, 28800, 0, 0},
+}
+
+// PaperTable3 is the non-blocking call profile (Table 3): Isend count and
+// average size, Irecv count and average size.
+var PaperTable3 = map[string][4]int64{
+	"IS":      {0, 0, 0, 0},
+	"CG":      {0, 0, 13984, 63591},
+	"MG":      {0, 0, 2922, 270400},
+	"LU":      {0, 0, 508, 311692},
+	"FT":      {0, 0, 0, 0},
+	"SP":      {4818, 263970, 4818, 263970},
+	"BT":      {2418, 293108, 2418, 293108},
+	"S3D-50":  {0, 0, 0, 0},
+	"S3D-150": {0, 0, 0, 0},
+}
+
+// PaperTable4 is the buffer-reuse profile (Table 4): plain and
+// byte-weighted reuse percentages.
+var PaperTable4 = map[string][2]float64{
+	"IS":      {81.08, 27.40},
+	"CG":      {99.99, 99.98},
+	"MG":      {99.80, 99.83},
+	"LU":      {99.99, 99.80},
+	"FT":      {86.00, 91.30},
+	"SP":      {99.92, 99.89},
+	"BT":      {99.87, 99.83},
+	"S3D-50":  {99.96, 99.99},
+	"S3D-150": {99.99, 99.99},
+}
+
+// PaperTable5 is the collective-call profile (Table 5): number of
+// collective calls, percentage of all MPI calls, percentage of
+// communication volume.
+var PaperTable5 = map[string][3]float64{
+	"IS":      {35, 97.22, 100.00},
+	"CG":      {2, 0.01, 0.00},
+	"MG":      {101, 1.70, 0.03},
+	"LU":      {18, 0.02, 0.00},
+	"FT":      {47, 100.00, 100.00},
+	"SP":      {11, 0.09, 0.02},
+	"BT":      {11, 0.22, 0.01},
+	"S3D-50":  {39, 0.20, 0.00},
+	"S3D-150": {39, 0.07, 0.00},
+}
+
+// PaperTable6 is the intra-node point-to-point profile for 16 processes on
+// 8 nodes with block mapping (Table 6): total calls across ranks,
+// percentage of calls, percentage of volume.
+var PaperTable6 = map[string][3]float64{
+	"IS":      {16, 100.00, 100.00},
+	"CG":      {192128, 42.93, 33.41},
+	"MG":      {14912, 16.25, 1.43},
+	"LU":      {804044, 33.16, 21.89},
+	"FT":      {0, 0.00, 0.00},
+	"SP":      {70608, 16.41, 16.26},
+	"BT":      {25760, 16.31, 16.21},
+	"S3D-50":  {153600, 33.29, 33.11},
+	"S3D-150": {460800, 33.32, 33.47},
+}
+
+// AppOrder is the paper's reporting order for applications.
+var AppOrder = []string{"IS", "CG", "MG", "LU", "FT", "SP", "BT", "S3D-50", "S3D-150"}

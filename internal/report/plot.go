@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpinet/internal/units"
+)
+
+// plotSymbols mark curves in ASCII plots, in curve order.
+var plotSymbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Plot renders the figure as an ASCII chart: logarithmic X (message sizes),
+// linear Y, one symbol per curve. Width and height are the plot area in
+// characters; sensible minimums are enforced.
+func (f Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var pts int
+	for _, c := range f.Curves {
+		pts += len(c.Y)
+	}
+	if pts == 0 {
+		return f.ID + ": (no data)\n"
+	}
+
+	// Ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, c := range f.Curves {
+		for i := range c.Y {
+			x := float64(c.X[i])
+			if x <= 0 {
+				x = 1
+			}
+			lx := math.Log2(x)
+			xmin = math.Min(xmin, lx)
+			xmax = math.Max(xmax, lx)
+			ymin = math.Min(ymin, c.Y[i])
+			ymax = math.Max(ymax, c.Y[i])
+		}
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor at zero like the paper's axes
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, sym byte) {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != sym {
+			grid[row][col] = '?' // overlapping curves
+			return
+		}
+		grid[row][col] = sym
+	}
+	for ci, c := range f.Curves {
+		sym := plotSymbols[ci%len(plotSymbols)]
+		for i := range c.Y {
+			x := float64(c.X[i])
+			if x <= 0 {
+				x = 1
+			}
+			put(math.Log2(x), c.Y[i], sym)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s  [%s vs %s, log-x]\n", f.ID, f.Title, f.YLabel, f.XLabel)
+	topLabel := fmt.Sprintf("%.4g", ymax)
+	botLabel := fmt.Sprintf("%.4g", ymin)
+	lw := len(topLabel)
+	if len(botLabel) > lw {
+		lw = len(botLabel)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", lw)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", lw, topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", lw, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", width))
+	lo := units.SizeString(int64(math.Exp2(xmin)))
+	hi := units.SizeString(int64(math.Exp2(xmax)))
+	if !strings.Contains(f.XLabel, "Bytes") {
+		lo = fmt.Sprintf("%.0f", math.Exp2(xmin))
+		hi = fmt.Sprintf("%.0f", math.Exp2(xmax))
+	}
+	gap := width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", lw), lo, strings.Repeat(" ", gap), hi)
+	var legend []string
+	for ci, c := range f.Curves {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotSymbols[ci%len(plotSymbols)], c.Label))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", lw), strings.Join(legend, "  "))
+	return b.String()
+}

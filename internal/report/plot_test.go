@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mpinet/internal/microbench"
+)
+
+func plotFixture() Figure {
+	return Figure{
+		ID: "Fig T", Title: "Latency", XLabel: "Message Size (Bytes)", YLabel: "Time (us)",
+		Curves: []microbench.Curve{
+			{Label: "IBA", X: []int64{4, 64, 1024, 16384}, Y: []float64{6.8, 7.0, 8.4, 46}},
+			{Label: "QSN", X: []int64{4, 64, 1024, 16384}, Y: []float64{4.6, 5.0, 10, 80}},
+		},
+	}
+}
+
+func TestPlotStructure(t *testing.T) {
+	out := plotFixture().Plot(40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x labels + legend
+	if len(lines) != 14 {
+		t.Fatalf("plot has %d lines, want 14:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*=IBA") || !strings.Contains(out, "o=QSN") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "80") {
+		t.Fatalf("y-max label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4B") || !strings.Contains(out, "16KB") {
+		t.Fatalf("x labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("no data points plotted:\n%s", out)
+	}
+}
+
+func TestPlotHighestPointOnTopRow(t *testing.T) {
+	out := plotFixture().Plot(40, 10)
+	lines := strings.Split(out, "\n")
+	top := lines[1] // first grid row
+	if !strings.Contains(top, "o") {
+		t.Fatalf("QSN's 80us maximum not on the top row: %q", top)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := (Figure{ID: "Fig E"}).Plot(30, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	// Single point, flat curve: must not divide by zero.
+	f := Figure{ID: "Fig S", Curves: []microbench.Curve{{Label: "x", X: []int64{8}, Y: []float64{5}}}}
+	out := f.Plot(5, 3) // forces the minimum dimensions too
+	if !strings.Contains(out, "legend") {
+		t.Fatalf("degenerate plot broken:\n%s", out)
+	}
+}
+
+func TestPlotNodeAxis(t *testing.T) {
+	f := Figure{
+		ID: "Fig N", Title: "Memory", XLabel: "Nodes", YLabel: "MB",
+		Curves: []microbench.Curve{{Label: "IBA", X: []int64{2, 4, 8}, Y: []float64{19, 30, 50}}},
+	}
+	out := f.Plot(30, 8)
+	if !strings.Contains(out, "2") || !strings.Contains(out, "8") {
+		t.Fatalf("node axis labels missing:\n%s", out)
+	}
+	if strings.Contains(out, "2B") {
+		t.Fatalf("node axis mislabelled as bytes:\n%s", out)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that the interconnect, bus and MPI models run on.
+//
+// The engine owns a virtual clock (picosecond resolution, see
+// internal/units) and a priority queue of events ordered by (time, sequence
+// number). Determinism is structural: no wall-clock reads, ties are broken
+// by schedule order, and simulated processes are cooperatively scheduled so
+// at most one of them executes at any instant.
+//
+// Two styles of model code coexist:
+//
+//   - Callback events (Schedule / At) for hardware state machines: a DMA
+//     completion, a packet arriving at a switch port.
+//   - Processes (Spawn) for software: an MPI rank executing a benchmark is a
+//     goroutine that blocks on simulated conditions and sleeps for simulated
+//     compute time, reading as straight-line code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpinet/internal/units"
+)
+
+// Time re-exports the simulated time type for convenience.
+type Time = units.Time
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. It is not safe for
+// concurrent use; all model code runs on the engine's goroutine or on a
+// process that the engine has handed control to.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  map[*Proc]struct{}
+	// failure captured from a panicking process, re-raised by Run.
+	failure    interface{}
+	running    bool
+	dispatched uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay (which may be zero). Events scheduled for the
+// same instant run in schedule order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run dispatches events until the queue is empty. If live processes remain
+// blocked when the queue drains, Run returns a DeadlockError naming them. If
+// a process panicked, Run re-panics with the process name attached.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil is Run with a horizon: once the clock would pass limit, dispatch
+// stops (events at exactly limit still run). A negative limit means no
+// horizon. Processes still blocked at exit are not an error when the horizon
+// was reached.
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	horizon := false
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if limit >= 0 && ev.at > limit {
+			horizon = true
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		e.dispatched++
+		ev.fn()
+		if e.failure != nil {
+			f := e.failure
+			e.failure = nil
+			panic(f)
+		}
+	}
+	if horizon {
+		e.now = limit
+		return nil
+	}
+	if n := len(e.procs); n > 0 {
+		names := make([]string, 0, n)
+		for p := range e.procs {
+			names = append(names, fmt.Sprintf("%s (blocked: %s)", p.name, p.blockedOn))
+		}
+		sort.Strings(names)
+		return &DeadlockError{At: e.now, Procs: names}
+	}
+	return nil
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Dispatched reports how many events the engine has executed — a measure
+// of simulation work, useful for budgeting large experiments.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// LiveProcs reports the number of processes that have been spawned and have
+// not yet returned.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// DeadlockError is returned by Run when all events have drained while
+// simulated processes are still blocked — the simulation analogue of an MPI
+// hang.
+type DeadlockError struct {
+	At    Time
+	Procs []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; blocked processes: %s",
+		d.At, strings.Join(d.Procs, ", "))
+}

@@ -1,0 +1,147 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the event loop so that exactly one of (engine, some process) runs at
+// a time. A Proc advances the virtual clock only by blocking — Sleep for
+// compute time, Cond.Wait for synchronization — and therefore reads as
+// ordinary sequential code.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	resume chan struct{} // engine -> proc: you hold the token
+	parked chan parkMsg  // proc -> engine: token back
+
+	// blockedOn describes what the process is waiting for; surfaced in
+	// deadlock reports.
+	blockedOn string
+}
+
+type parkMsg struct {
+	finished bool
+	panicked interface{}
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// simulated time. fn runs on its own goroutine but only while the engine has
+// handed it the control token.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan parkMsg),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for the starter event
+		defer func() {
+			r := recover()
+			p.parked <- parkMsg{finished: true, panicked: r}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.step(p) })
+	return p
+}
+
+// step hands the control token to p and blocks the engine until p parks or
+// finishes.
+func (e *Engine) step(p *Proc) {
+	p.resume <- struct{}{}
+	msg := <-p.parked
+	if msg.finished {
+		delete(e.procs, p)
+		if msg.panicked != nil {
+			e.failure = fmt.Sprintf("sim: process %q panicked: %v", p.name, msg.panicked)
+		}
+	}
+}
+
+// park gives the token back to the engine and blocks until somebody resumes
+// this process via a wake event.
+func (p *Proc) park(why string) {
+	p.blockedOn = why
+	p.parked <- parkMsg{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// wake schedules an event that transfers control back to p. It must be
+// called while the engine (or another process holding the token) is running.
+func (p *Proc) wake(delay Time) {
+	p.eng.Schedule(delay, func() { p.eng.step(p) })
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep advances simulated time by d from this process's perspective,
+// modelling computation or a busy-wait of known length.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.wake(d)
+	p.park("sleep")
+}
+
+// Yield parks the process and immediately re-queues it, letting every event
+// already scheduled for the current instant run first.
+func (p *Proc) Yield() {
+	p.wake(0)
+	p.park("yield")
+}
+
+// Cond is an engine-level condition: processes wait on it, and model code
+// (event callbacks or other processes) signals it. Unlike sync.Cond there is
+// no associated lock — the cooperative scheduler already guarantees mutual
+// exclusion — but waiters must re-check their predicate after waking, as
+// wakeups are ordered but not exclusive.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process until the condition is signalled. why is
+// used in deadlock reports.
+func (c *Cond) Wait(p *Proc, why string) {
+	c.waiters = append(c.waiters, p)
+	p.park(why)
+}
+
+// Broadcast wakes every current waiter, in wait order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.wake(0)
+	}
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.wake(0)
+}
+
+// WaitUntil parks p until pred() holds, re-checking at every broadcast of c.
+func (c *Cond) WaitUntil(p *Proc, why string, pred func() bool) {
+	for !pred() {
+		c.Wait(p, why)
+	}
+}

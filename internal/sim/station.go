@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"mpinet/internal/units"
+)
+
+// Station models a FIFO-served, non-preemptive, exclusive resource: a bus, a
+// DMA engine, one direction of a link, a switch crossbar port, a NIC
+// processor. Jobs submitted at time t begin service no earlier than t and no
+// earlier than the completion of every previously submitted job.
+//
+// Because service is FIFO and non-preemptive, completion times can be
+// computed analytically at submission: no events are needed for queueing
+// itself, only for acting on completions. This is what keeps large transfers
+// cheap to simulate.
+type Station struct {
+	name string
+	free Time // earliest instant the resource is idle
+
+	// accounting
+	busy     Time // total busy time
+	jobs     int64
+	lastSeen Time
+}
+
+// NewStation returns an idle station. The name appears in diagnostics.
+func NewStation(name string) *Station { return &Station{name: name} }
+
+// Use submits a job of duration dur at time now and returns the interval
+// [start, end) during which the job holds the resource.
+func (s *Station) Use(now Time, dur Time) (start, end Time) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: station %s: negative duration %v", s.name, dur))
+	}
+	if now < s.lastSeen {
+		// Submissions must be in nondecreasing time order; the event loop
+		// guarantees this as long as callers use their current Now().
+		panic(fmt.Sprintf("sim: station %s: time went backwards (%v < %v)", s.name, now, s.lastSeen))
+	}
+	s.lastSeen = now
+	start = now
+	if s.free > start {
+		start = s.free
+	}
+	end = start + dur
+	s.free = end
+	s.busy += dur
+	s.jobs++
+	return start, end
+}
+
+// FreeAt reports the earliest instant the station would be idle.
+func (s *Station) FreeAt() Time { return s.free }
+
+// BusyTime reports cumulative busy time (for utilization accounting).
+func (s *Station) BusyTime() Time { return s.busy }
+
+// Jobs reports how many jobs the station has served.
+func (s *Station) Jobs() int64 { return s.jobs }
+
+// Name returns the diagnostic name.
+func (s *Station) Name() string { return s.name }
+
+// Pipe is a Station with a rate: jobs are byte counts, service time is
+// size/bandwidth plus a fixed per-job overhead. It models one direction of a
+// serial resource (link, bus slot) at message- or chunk-granularity.
+type Pipe struct {
+	Station
+	rate     units.BytesPerSecond
+	perJob   Time // fixed occupancy per job (arbitration, header)
+	minBytes int64
+}
+
+// NewPipe returns a pipe of the given rate. perJob is a fixed occupancy
+// added to every job; minBytes, if positive, is the minimum billed size
+// (modelling minimum frame/transaction sizes).
+func NewPipe(name string, rate units.BytesPerSecond, perJob Time, minBytes int64) *Pipe {
+	if rate <= 0 {
+		panic("sim: pipe needs positive rate")
+	}
+	p := &Pipe{rate: rate, perJob: perJob, minBytes: minBytes}
+	p.Station.name = name
+	return p
+}
+
+// Send submits a job of n bytes at time now; returns its occupancy interval.
+func (p *Pipe) Send(now Time, n int64) (start, end Time) {
+	if n < p.minBytes {
+		n = p.minBytes
+	}
+	return p.Use(now, p.perJob+p.rate.TimeFor(n))
+}
+
+// Rate returns the configured bandwidth.
+func (p *Pipe) Rate() units.BytesPerSecond { return p.rate }

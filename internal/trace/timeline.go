@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mpinet/internal/units"
+)
+
+// EventKind classifies a timeline event.
+type EventKind int
+
+// Timeline event kinds, in the order a message usually produces them.
+const (
+	EvSendStart EventKind = iota // send initiated (eager issue or RTS)
+	EvSendDone                   // send buffer released / rendezvous done
+	EvRecvPost                   // receive posted
+	EvArrive                     // envelope/payload arrived at the receiver
+	EvRecvDone                   // receive completed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvSendStart:
+		return "send-start"
+	case EvSendDone:
+		return "send-done"
+	case EvRecvPost:
+		return "recv-post"
+	case EvArrive:
+		return "arrive"
+	case EvRecvDone:
+		return "recv-done"
+	default:
+		return "?"
+	}
+}
+
+// Event is one timeline record. Peer is the remote world rank (or -1 for
+// wildcards), Comm the communicator context.
+type Event struct {
+	At   units.Time
+	Rank int
+	Kind EventKind
+	Peer int
+	Tag  int
+	Comm int
+	Size int64
+}
+
+// Timeline collects message-level events from an MPI run — the simulation
+// analogue of an MPE/jumpshot log. A zero Max keeps everything; otherwise
+// collection stops after Max events (the run itself is unaffected).
+type Timeline struct {
+	Max    int
+	Events []Event
+
+	full bool
+}
+
+// Add appends an event, honouring Max.
+func (t *Timeline) Add(e Event) {
+	if t.full {
+		return
+	}
+	if t.Max > 0 && len(t.Events) >= t.Max {
+		t.full = true
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Truncated reports whether events were dropped due to Max.
+func (t *Timeline) Truncated() bool { return t.full }
+
+// Render writes the timeline as an aligned chronological listing.
+func (t *Timeline) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-6s %-11s %-6s %-7s %-5s %s\n",
+		"time", "rank", "event", "peer", "tag", "comm", "size")
+	for _, e := range t.Events {
+		peer := fmt.Sprint(e.Peer)
+		if e.Peer < 0 {
+			peer = "*"
+		}
+		tag := fmt.Sprint(e.Tag)
+		if e.Tag < 0 {
+			tag = "internal"
+		}
+		fmt.Fprintf(w, "%-14s %-6d %-11s %-6s %-7s %-5d %s\n",
+			e.At.String(), e.Rank, e.Kind.String(), peer, tag, e.Comm,
+			units.SizeString(e.Size))
+	}
+	if t.full {
+		fmt.Fprintln(w, "... (truncated)")
+	}
+}
+
+// Stats summarizes the timeline: event counts per kind and the mean
+// post-to-completion receive time.
+func (t *Timeline) Stats() (counts map[EventKind]int, meanRecvWait units.Time) {
+	counts = make(map[EventKind]int)
+	type key struct{ rank, peer, tag, comm int }
+	posts := make(map[key][]units.Time)
+	var total units.Time
+	var n int64
+	for _, e := range t.Events {
+		counts[e.Kind]++
+		k := key{e.Rank, e.Peer, e.Tag, e.Comm}
+		switch e.Kind {
+		case EvRecvPost:
+			posts[k] = append(posts[k], e.At)
+		case EvRecvDone:
+			if q := posts[k]; len(q) > 0 {
+				total += e.At - q[0]
+				posts[k] = q[1:]
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		meanRecvWait = total / units.Time(n)
+	}
+	return counts, meanRecvWait
+}

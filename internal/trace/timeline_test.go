@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpinet/internal/units"
+)
+
+func TestTimelineAddAndMax(t *testing.T) {
+	tl := &Timeline{Max: 3}
+	for i := 0; i < 5; i++ {
+		tl.Add(Event{At: units.Time(i), Rank: i, Kind: EvSendStart})
+	}
+	if len(tl.Events) != 3 || !tl.Truncated() {
+		t.Fatalf("events=%d truncated=%v", len(tl.Events), tl.Truncated())
+	}
+	unbounded := &Timeline{}
+	for i := 0; i < 100; i++ {
+		unbounded.Add(Event{})
+	}
+	if len(unbounded.Events) != 100 || unbounded.Truncated() {
+		t.Fatal("unbounded timeline dropped events")
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := &Timeline{Max: 2}
+	tl.Add(Event{At: units.FromMicros(1.5), Rank: 0, Kind: EvSendStart, Peer: 1, Tag: 7, Size: 4096})
+	tl.Add(Event{At: units.FromMicros(9), Rank: 1, Kind: EvRecvDone, Peer: -1, Tag: -10, Size: 4096})
+	tl.Add(Event{}) // dropped
+	var b bytes.Buffer
+	tl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"send-start", "recv-done", "4KB", "*", "internal", "truncated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvSendStart, EvSendDone, EvRecvPost, EvArrive, EvRecvDone, EventKind(99)}
+	want := []string{"send-start", "send-done", "recv-post", "arrive", "recv-done", "?"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestTimelineStats(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(Event{At: 100, Rank: 1, Kind: EvRecvPost, Peer: 0, Tag: 5})
+	tl.Add(Event{At: 150, Rank: 1, Kind: EvArrive, Peer: 0, Tag: 5})
+	tl.Add(Event{At: 300, Rank: 1, Kind: EvRecvDone, Peer: 0, Tag: 5})
+	tl.Add(Event{At: 400, Rank: 1, Kind: EvRecvPost, Peer: 0, Tag: 5})
+	tl.Add(Event{At: 500, Rank: 1, Kind: EvRecvDone, Peer: 0, Tag: 5})
+	counts, mean := tl.Stats()
+	if counts[EvRecvPost] != 2 || counts[EvArrive] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	if mean != 150 { // (200 + 100) / 2
+		t.Fatalf("mean recv wait = %v, want 150", mean)
+	}
+}

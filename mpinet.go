@@ -1,0 +1,184 @@
+// Package mpinet is a deterministic cluster-interconnect simulator and MPI
+// performance-study toolkit reproducing "Performance Comparison of MPI
+// Implementations over InfiniBand, Myrinet and Quadrics" (Liu et al.,
+// SC'03).
+//
+// It models the paper's 8-node dual-Xeon testbed wired with three
+// interconnects — Mellanox InfiniHost/VAPI over PCI-X, Myrinet-2000/GM, and
+// Quadrics Elan3/Tports over PCI — and runs an MPICH-style MPI library over
+// each. On top sit the paper's extended micro-benchmark suite, the NAS
+// Parallel Benchmark and sweep3D communication skeletons, and a harness
+// regenerating every figure and table of the evaluation.
+//
+// # Quick start
+//
+// Build a testbed, run an MPI program on it, read the clock:
+//
+//	p := mpinet.InfiniBand()
+//	w := mpinet.NewWorld(mpinet.WorldConfig{Net: p.New(2), Procs: 2})
+//	err := w.Run(func(r *mpinet.Rank) {
+//		buf := r.Malloc(4096)
+//		if r.Rank() == 0 {
+//			r.Send(buf, 1, 0)
+//		} else {
+//			r.Recv(buf, 0, 0)
+//		}
+//	})
+//
+// Micro-benchmarks and applications are one call each:
+//
+//	lat := mpinet.Latency(mpinet.Quadrics(), []int64{4, 64, 1024})
+//	res, err := mpinet.RunApp("LU", mpinet.Myrinet(), mpinet.ClassB, 8)
+//
+// The full paper reproduction lives in cmd/paperrepro; see DESIGN.md for
+// the model inventory and EXPERIMENTS.md for paper-vs-simulated results.
+package mpinet
+
+import (
+	"mpinet/internal/apps"
+	"mpinet/internal/cluster"
+	"mpinet/internal/memreg"
+	"mpinet/internal/microbench"
+	"mpinet/internal/mpi"
+	"mpinet/internal/sim"
+	"mpinet/internal/trace"
+	"mpinet/internal/units"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Platform is a buildable interconnect testbed.
+	Platform = cluster.Platform
+	// World is an MPI job on a wired network.
+	World = mpi.World
+	// WorldConfig configures an MPI job.
+	WorldConfig = mpi.Config
+	// Rank is the per-process MPI handle.
+	Rank = mpi.Rank
+	// Request is a non-blocking operation handle.
+	Request = mpi.Request
+	// Status describes a completed receive.
+	Status = mpi.Status
+	// Buf identifies a simulated user buffer.
+	Buf = memreg.Buf
+	// Time is simulated time in picoseconds.
+	Time = units.Time
+	// Curve is one line of a figure.
+	Curve = microbench.Curve
+	// AppResult is an application run's outcome.
+	AppResult = apps.Result
+	// Profile is a rank's communication record.
+	Profile = trace.Profile
+	// Class selects a workload problem size.
+	Class = apps.Class
+	// Engine is the discrete-event core, for custom models.
+	Engine = sim.Engine
+	// Comm is an MPI communicator (CommWorld, Split, Dup).
+	Comm = mpi.Comm
+	// Timeline collects message-level events from a run.
+	Timeline = trace.Timeline
+	// TimelineEvent is one message-level event.
+	TimelineEvent = trace.Event
+	// LogPParams is a LogGP characterization of an interconnect.
+	LogPParams = microbench.LogPParams
+)
+
+// Workload problem classes.
+const (
+	// ClassS is a scaled-down test size.
+	ClassS = apps.ClassS
+	// ClassB is the paper's problem size.
+	ClassB = apps.ClassB
+)
+
+// Receive wildcards.
+const (
+	// AnySource matches any sender.
+	AnySource = mpi.AnySource
+	// AnyTag matches any tag.
+	AnyTag = mpi.AnyTag
+)
+
+// InfiniBand returns the paper's InfiniBand platform (InfiniHost HCAs on
+// PCI-X, InfiniScale switch, MVAPICH-style MPI).
+func InfiniBand() Platform { return cluster.IBA() }
+
+// InfiniBandPCI is InfiniBand forced onto a 64-bit/66 MHz PCI bus
+// (Section 4.7).
+func InfiniBandPCI() Platform { return cluster.IBAPCI() }
+
+// Myrinet returns the paper's Myrinet platform (M3F NICs, Myrinet-2000
+// switch, MPICH-GM-style MPI).
+func Myrinet() Platform { return cluster.Myri() }
+
+// Quadrics returns the paper's Quadrics platform (Elan3 NICs on PCI,
+// Elite-16 switch, Tports-based MPI).
+func Quadrics() Platform { return cluster.QSN() }
+
+// Topspin returns the 16-node Topspin InfiniBand cluster of Section 4.2.
+func Topspin() Platform { return cluster.Topspin() }
+
+// InfiniBandOnDemand is InfiniBand with on-demand connection management —
+// the memory-usage fix the paper's Section 3.8 points to.
+func InfiniBandOnDemand() Platform { return cluster.IBAOnDemand() }
+
+// InfiniBandMulticast is InfiniBand with the hardware-collective extension
+// of Section 3.7: broadcasts ride switch multicast.
+func InfiniBandMulticast() Platform { return cluster.IBAMulticast() }
+
+// LogP extracts LogGP parameters (L, os, or, G) for an interconnect, per
+// the methodology of the paper's related work.
+func LogP(p Platform) LogPParams { return microbench.LogP(p) }
+
+// Platforms returns the three OSU-testbed interconnects in the paper's
+// order.
+func Platforms() []Platform { return cluster.OSU() }
+
+// NewWorld builds an MPI job; see mpi.NewWorld.
+func NewWorld(cfg WorldConfig) *World { return mpi.NewWorld(cfg) }
+
+// Latency measures one-way MPI latency (us) across message sizes
+// (Figure 1).
+func Latency(p Platform, sizes []int64) Curve { return microbench.Latency(p, sizes) }
+
+// Bandwidth measures windowed streaming bandwidth in MB/s (Figure 2).
+func Bandwidth(p Platform, sizes []int64, window int) Curve {
+	return microbench.Bandwidth(p, sizes, window)
+}
+
+// HostOverhead measures per-message host CPU time (us) in the latency test
+// (Figure 3).
+func HostOverhead(p Platform, sizes []int64) Curve { return microbench.HostOverhead(p, sizes) }
+
+// Overlap measures communication/computation overlap potential (us,
+// Figure 6).
+func Overlap(p Platform, sizes []int64) Curve { return microbench.Overlap(p, sizes) }
+
+// RunApp executes one of the paper's workloads ("IS", "CG", "MG", "LU",
+// "FT", "SP", "BT", "S3D-50", "S3D-150") on procs processes.
+func RunApp(name string, p Platform, class Class, procs int) (AppResult, error) {
+	a, err := apps.ByName(name)
+	if err != nil {
+		return AppResult{}, err
+	}
+	return a.Run(apps.RunConfig{Platform: p, Class: class, Procs: procs})
+}
+
+// RunAppSMP executes a workload with several ranks per node (block
+// mapping), the paper's SMP configuration.
+func RunAppSMP(name string, p Platform, class Class, procs, perNode int) (AppResult, error) {
+	a, err := apps.ByName(name)
+	if err != nil {
+		return AppResult{}, err
+	}
+	return a.Run(apps.RunConfig{Platform: p, Class: class, Procs: procs, ProcsPerNode: perNode})
+}
+
+// AppNames lists the available workloads in the paper's order.
+func AppNames() []string {
+	var names []string
+	for _, a := range apps.Registry() {
+		names = append(names, a.Name)
+	}
+	return names
+}

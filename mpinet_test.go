@@ -1,0 +1,80 @@
+package mpinet
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	p := InfiniBand()
+	w := NewWorld(WorldConfig{Net: p.New(2), Procs: 2})
+	var got Status
+	err := w.Run(func(r *Rank) {
+		buf := r.Malloc(4096)
+		if r.Rank() == 0 {
+			r.Send(buf, 1, 0)
+		} else {
+			got = r.Recv(buf, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 4096 || got.Source != 0 {
+		t.Fatalf("status = %+v", got)
+	}
+}
+
+func TestFacadeMicrobench(t *testing.T) {
+	c := Latency(Quadrics(), []int64{4})
+	if len(c.Y) != 1 || c.Y[0] <= 0 {
+		t.Fatalf("latency curve: %+v", c)
+	}
+	b := Bandwidth(Myrinet(), []int64{65536}, 16)
+	if b.Y[0] < 100 || b.Y[0] > 300 {
+		t.Fatalf("Myrinet bandwidth = %.0f, outside plausible range", b.Y[0])
+	}
+}
+
+func TestFacadeRunApp(t *testing.T) {
+	res, err := RunApp("MG", Myrinet(), ClassS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Net != "Myri" {
+		t.Fatalf("result: %+v", res)
+	}
+	if _, err := RunApp("nope", Myrinet(), ClassS, 8); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestFacadeRunAppSMP(t *testing.T) {
+	res, err := RunAppSMP("S3D-50", InfiniBand(), ClassS, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.IntraCalls == 0 {
+		t.Fatal("SMP run produced no intra-node traffic")
+	}
+}
+
+func TestFacadeAppNames(t *testing.T) {
+	names := AppNames()
+	if len(names) != 9 || names[0] != "IS" {
+		t.Fatalf("AppNames = %v", names)
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 3 {
+		t.Fatalf("platforms: %d", len(ps))
+	}
+	for _, p := range ps {
+		net := p.New(2)
+		if net.Nodes() != 2 {
+			t.Fatalf("%s: nodes = %d", p.Name, net.Nodes())
+		}
+	}
+	if Topspin().New(16).Nodes() != 16 {
+		t.Fatal("Topspin cannot wire 16 nodes")
+	}
+}
