@@ -4,13 +4,20 @@
 // Usage:
 //
 //	mpibench [-fig N] [-quick] [-v]
+//	mpibench [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
 //
 // Without -fig it runs the whole suite: Figures 1-13 plus the PCI
 // comparison Figures 26-27. -quick thins the size sweeps for a fast smoke
 // run.
+//
+// The second form runs the instrumented observability demo workload:
+// -metrics writes the cross-layer metrics snapshot, -tracefile a Chrome
+// trace_event JSON, -obsnet picks the interconnect (default IBA). Either
+// output flag can be - for stdout.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +35,18 @@ func main() {
 	quick := flag.Bool("quick", false, "thin sweeps for a fast smoke run")
 	logp := flag.Bool("logp", false, "extract LogGP parameters per interconnect and exit")
 	verbose := flag.Bool("v", false, "print progress to stderr")
+	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
+	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
+	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
 	flag.Parse()
+
+	if *metricsOut != "" || *traceOut != "" {
+		if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mpibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *logp {
 		fmt.Println("LogGP parameters (Culler et al. model, extracted per the")
@@ -70,4 +88,47 @@ func main() {
 		return
 	}
 	fmt.Println(f().Render())
+}
+
+// runObserved executes the instrumented demo workload and writes the
+// requested artifacts.
+func runObserved(net, metricsPath, tracePath string) error {
+	p, err := experiments.PlatformByName(net)
+	if err != nil {
+		return err
+	}
+	w, err := experiments.Observe(p)
+	if err != nil {
+		return err
+	}
+	if metricsPath != "" {
+		var b bytes.Buffer
+		w.Metrics().Snapshot().RenderGrouped(&b)
+		if err := writeOut(metricsPath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		var b bytes.Buffer
+		if err := w.WriteChromeTrace(&b); err != nil {
+			return err
+		}
+		if err := writeOut(tracePath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOut writes data to path, with - meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpibench: wrote %s\n", path)
+	return nil
 }

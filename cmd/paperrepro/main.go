@@ -5,12 +5,19 @@
 // Usage:
 //
 //	paperrepro [-o EXPERIMENTS.md] [-quick]
+//	paperrepro [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
 //
 // With -o - the document goes to stdout. A full (class B) run simulates
 // several hundred cluster executions and takes a few minutes of wall-clock
 // time; -quick produces the same document from class S workloads and
 // thinned sweeps in seconds (for smoke-testing the harness, not for
 // comparisons).
+//
+// The second form runs the instrumented observability demo workload
+// instead of the reproduction: -metrics writes the cross-layer metrics
+// snapshot, -tracefile writes a Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev), and -obsnet picks the
+// interconnect (default IBA). Either flag can be - for stdout.
 package main
 
 import (
@@ -30,7 +37,18 @@ func main() {
 	out := flag.String("o", "-", "output file (- = stdout)")
 	quick := flag.Bool("quick", false, "class S smoke mode")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
+	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
+	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
+	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
 	flag.Parse()
+
+	if *metricsOut != "" || *traceOut != "" {
+		if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := experiments.NewRunner(*quick, os.Stderr)
 
@@ -54,6 +72,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", *out)
+}
+
+// runObserved executes the instrumented demo workload and writes the
+// requested artifacts.
+func runObserved(net, metricsPath, tracePath string) error {
+	p, err := experiments.PlatformByName(net)
+	if err != nil {
+		return err
+	}
+	w, err := experiments.Observe(p)
+	if err != nil {
+		return err
+	}
+	if metricsPath != "" {
+		var b bytes.Buffer
+		w.Metrics().Snapshot().RenderGrouped(&b)
+		if err := writeOut(metricsPath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		var b bytes.Buffer
+		if err := w.WriteChromeTrace(&b); err != nil {
+			return err
+		}
+		if err := writeOut(tracePath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOut writes data to path, with - meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", path)
+	return nil
 }
 
 // writeCSVs regenerates every figure and table as machine-readable files

@@ -15,6 +15,7 @@
 package bus
 
 import (
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -77,9 +78,10 @@ func Params(k Kind) Config {
 // Bus is one host's I/O bus instance: a single FIFO station shared by every
 // DMA in either direction.
 type Bus struct {
-	kind Kind
-	cfg  Config
-	st   *sim.Station
+	kind  Kind
+	cfg   Config
+	st    *sim.Station
+	bytes int64 // cumulative DMA payload
 }
 
 // New returns a bus of the given kind for one host.
@@ -103,6 +105,10 @@ func (b *Bus) occupancy(n int64) sim.Time {
 // interval. Both directions share the bus, so callers need not distinguish
 // read from write.
 func (b *Bus) DMA(now sim.Time, n int64) (start, end sim.Time) {
+	if n > 0 {
+		b.bytes += n
+	}
+	b.st.NoteSize(n)
 	return b.st.Use(now, b.occupancy(n))
 }
 
@@ -126,3 +132,25 @@ func (b *Bus) Jobs() int64 { return b.st.Jobs() }
 
 // Name returns the diagnostic name.
 func (b *Bus) Name() string { return b.st.Name() }
+
+// Bytes reports cumulative DMA payload moved over the bus.
+func (b *Bus) Bytes() int64 { return b.bytes }
+
+// WaitTime reports cumulative DMA queueing delay (bus contention).
+func (b *Bus) WaitTime() sim.Time { return b.st.WaitTime() }
+
+// Instrument registers the bus's DMA count, byte volume, occupancy and
+// contention time under nodeN/bus/..., and arms per-DMA span recording so
+// bus activity shows up as a lane in the Chrome trace. Probes are read at
+// snapshot time; the DMA path cost is one nil check.
+func (b *Bus) Instrument(m *metrics.Registry, node int) {
+	if m == nil {
+		return
+	}
+	prefix := metrics.NodePrefix(node) + "bus"
+	m.ProbeCount(prefix+"/dma_ops", b.Jobs)
+	m.ProbeCount(prefix+"/dma_bytes", b.Bytes)
+	m.ProbeTime(prefix+"/busy_time", b.BusyTime)
+	m.ProbeTime(prefix+"/wait_time", b.WaitTime)
+	b.st.RecordSpans(m, node, "dma", "bus")
+}

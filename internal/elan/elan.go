@@ -30,6 +30,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -107,6 +108,7 @@ type Network struct {
 	cfg   Config
 	sw    *fabric.Switch
 	nodes []*nodeHW
+	met   *metrics.Registry
 }
 
 type nodeHW struct {
@@ -171,6 +173,34 @@ func (n *Network) ShmemBelow() int64 { return 0 }
 // since ShmemBelow is 0, but required for interface completeness).
 func (n *Network) ShmemConfig() shmem.Config { return shmem.DefaultConfig() }
 
+// InstrumentMetrics implements metrics.Instrumentable: per-node bus, NIC
+// thread processor, DMA engine and link counters plus device-level spans
+// and switch port counters. Endpoints created afterwards bind protocol
+// counters, MMU-cache probes, and the Elan-specific command-queue stall
+// and NIC-match counters.
+func (n *Network) InstrumentMetrics(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	n.met = m
+	for i, hw := range n.nodes {
+		prefix := metrics.NodePrefix(i) + "nic"
+		hw.bus.Instrument(m, i)
+		m.ProbeCount(prefix+"/elanproc_jobs", hw.elanProc.Jobs)
+		m.ProbeTime(prefix+"/elanproc_busy_time", hw.elanProc.BusyTime)
+		m.ProbeTime(prefix+"/elanproc_wait_time", hw.elanProc.WaitTime)
+		hw.elanProc.RecordSpans(m, i, "threadproc", "nic")
+		hw.dmaTx.Instrument(m, prefix+"/tx")
+		hw.dmaRx.Instrument(m, prefix+"/rx")
+		hw.dmaTx.RecordSpans(m, i, "tx", "nic")
+		hw.dmaRx.RecordSpans(m, i, "rx", "nic")
+		hw.link.Instrument(m, i)
+	}
+	// As in the other devices, the Elite crossbar's output contention rides
+	// the destination down-link, so its port pipes carry no traffic and are
+	// left unregistered.
+}
+
 // Utilizations implements dev.UtilizationReporter.
 func (n *Network) Utilizations() []dev.Utilization {
 	var out []dev.Utilization
@@ -192,7 +222,7 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 	if node < 0 || node >= len(n.nodes) {
 		panic("elan: bad node index")
 	}
-	return &endpoint{
+	ep := &endpoint{
 		net:  n,
 		node: node,
 		mmu: memreg.NewPinCache(
@@ -200,6 +230,11 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 			memreg.CostModel{}, // MMU entries are overwritten, not deregistered
 			mmuCapPages),
 	}
+	ep.nic = dev.NewNICCounters(n.met, node)
+	ep.cmdqStalls = n.met.Counter(metrics.NodePrefix(node) + "nic/cmdq_stalls")
+	ep.matches = n.met.Counter(metrics.NodePrefix(node) + "nic/matches")
+	dev.InstrumentPinCache(n.met, node, ep.mmu)
+	return ep
 }
 
 type endpoint struct {
@@ -210,6 +245,11 @@ type endpoint struct {
 	// outstanding NIC commands (issued, not yet delivered) for the
 	// command-queue model.
 	outstanding int
+
+	// metric handles (nil-safe no-ops when instrumentation is off)
+	nic        dev.NICCounters
+	cmdqStalls *metrics.Counter
+	matches    *metrics.Counter
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -267,6 +307,7 @@ func (ep *endpoint) IssueStall() sim.Time {
 	if ep.outstanding < cmdQueueDepth {
 		return 0
 	}
+	ep.cmdqStalls.Inc()
 	hw := ep.net.nodes[ep.node]
 	hw.elanProc.Use(ep.net.eng.Now(), queueThrash)
 	return slowIssue
@@ -281,6 +322,7 @@ func (ep *endpoint) MatchDelay(pending int, cb func()) {
 	if pending > maxWalk {
 		pending = maxWalk
 	}
+	ep.matches.Inc()
 	eng := ep.net.eng
 	hw := ep.net.nodes[ep.node]
 	_, end := hw.elanProc.Use(eng.Now(), matchBase+sim.Time(pending)*matchPerEntry)
@@ -336,16 +378,19 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 
 // Eager implements dev.Endpoint (Tports queued send).
 func (ep *endpoint) Eager(dst int, size int64, deliver func()) {
+	ep.nic.Eager(size)
 	ep.transfer(dst, size+32, deliver)
 }
 
 // Control implements dev.Endpoint.
 func (ep *endpoint) Control(dst int, deliver func()) {
+	ep.nic.Control()
 	ep.transfer(dst, 64, deliver)
 }
 
 // Bulk implements dev.Endpoint (Elan remote DMA).
 func (ep *endpoint) Bulk(dst int, size int64, deliver func()) {
+	ep.nic.Bulk(size)
 	ep.transfer(dst, size, deliver)
 }
 

@@ -13,6 +13,7 @@ package fabric
 import (
 	"fmt"
 
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -51,6 +52,20 @@ func (l *Link) Up() *sim.Pipe { return l.toSwitch }
 // Down returns the switch→host direction.
 func (l *Link) Down() *sim.Pipe { return l.fromSwitch }
 
+// Instrument registers both directions' byte volume, occupancy and
+// contention time under nodeN/link/{up,down}/... and arms per-chunk span
+// recording so link traffic appears as lanes in the Chrome trace.
+func (l *Link) Instrument(m *metrics.Registry, node int) {
+	if m == nil {
+		return
+	}
+	prefix := metrics.NodePrefix(node) + "link"
+	l.toSwitch.Instrument(m, prefix+"/up")
+	l.fromSwitch.Instrument(m, prefix+"/down")
+	l.toSwitch.RecordSpans(m, node, "xfer", "fabric")
+	l.fromSwitch.RecordSpans(m, node, "xfer", "fabric")
+}
+
 // SwitchConfig describes a crossbar switch.
 type SwitchConfig struct {
 	Ports    int
@@ -83,6 +98,19 @@ func (s *Switch) OutPort(port int) *sim.Pipe { return s.out[port] }
 
 // Crossing returns the cut-through port-to-port latency.
 func (s *Switch) Crossing() sim.Time { return s.cfg.Crossing }
+
+// Instrument registers every output port's byte volume, occupancy and
+// contention time under fabric/<port-name>/.... Switch ports belong to the
+// fabric, not a host, so their spans carry metrics.FabricNode.
+func (s *Switch) Instrument(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	for _, p := range s.out {
+		p.Instrument(m, "fabric/"+p.Name())
+		p.RecordSpans(m, metrics.FabricNode, "fwd", "fabric")
+	}
+}
 
 // Ports returns the port count.
 func (s *Switch) Ports() int { return s.cfg.Ports }

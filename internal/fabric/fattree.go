@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -37,6 +38,11 @@ func (c *CrossbarTopology) Between(src, dst int) ([]PathStage, sim.Time) {
 
 // Nodes implements Topology.
 func (c *CrossbarTopology) Nodes() int { return c.sw.Ports() }
+
+// Instrument is a no-op: in the star path the crossbar's output contention
+// is carried by the destination's down-link, so the switch's own port pipes
+// never run and would register only as zero rows.
+func (c *CrossbarTopology) Instrument(m *metrics.Registry) {}
 
 // FatTreeConfig describes a two-level folded-Clos (fat-tree) fabric built
 // from crossbar elements: hosts attach to leaf switches; every leaf has one
@@ -92,6 +98,24 @@ func NewFatTree(name string, cfg FatTreeConfig) *FatTree {
 
 // Nodes implements Topology.
 func (t *FatTree) Nodes() int { return t.cfg.Leaves * t.cfg.HostsPerLeaf }
+
+// Instrument registers every inter-switch link's byte volume, occupancy and
+// contention time under fabric/<link-name>/..., with spans on the fabric
+// pseudo-process — per-link counters are what make spine imbalance and
+// oversubscription hot spots visible.
+func (t *FatTree) Instrument(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	for l := range t.up {
+		for s := range t.up[l] {
+			for _, p := range []*sim.Pipe{t.up[l][s], t.down[l][s]} {
+				p.Instrument(m, "fabric/"+p.Name())
+				p.RecordSpans(m, metrics.FabricNode, "fwd", "fabric")
+			}
+		}
+	}
+}
 
 // LeafOf returns the leaf switch a node attaches to.
 func (t *FatTree) LeafOf(node int) int { return node / t.cfg.HostsPerLeaf }

@@ -29,6 +29,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -98,6 +99,7 @@ type Network struct {
 	cfg   Config
 	sw    *fabric.Switch
 	nodes []*nodeHW
+	met   *metrics.Registry
 }
 
 type nodeHW struct {
@@ -110,6 +112,9 @@ type nodeHW struct {
 	// staging accounting for the SRAM model
 	outTx int64
 	outRx int64
+
+	// acks counts GM reliability ACKs this node's LANai absorbed (nil-safe)
+	acks *metrics.Counter
 }
 
 // stallPipe is a DMA engine whose per-chunk occupancy inflates while the
@@ -194,6 +199,39 @@ func (n *Network) ShmemConfig() shmem.Config {
 	return c
 }
 
+// InstrumentMetrics implements metrics.Instrumentable: per-node bus, LANai,
+// DMA-engine and link counters plus device-level spans, switch port
+// counters, and a GM-specific reliability-ACK count. Endpoints created
+// afterwards bind protocol counters and pin-cache probes.
+func (n *Network) InstrumentMetrics(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	n.met = m
+	for i, hw := range n.nodes {
+		prefix := metrics.NodePrefix(i) + "nic"
+		hw.bus.Instrument(m, i)
+		m.ProbeCount(prefix+"/lanai_jobs", hw.lanai.Jobs)
+		m.ProbeTime(prefix+"/lanai_busy_time", hw.lanai.BusyTime)
+		m.ProbeTime(prefix+"/lanai_wait_time", hw.lanai.WaitTime)
+		hw.lanai.RecordSpans(m, i, "firmware", "nic")
+		for _, dma := range []struct {
+			name string
+			st   *sim.Station
+		}{{"sdma", hw.sdma.st}, {"rdma", hw.rdma.st}} {
+			m.ProbeCount(prefix+"/"+dma.name+"/jobs", dma.st.Jobs)
+			m.ProbeTime(prefix+"/"+dma.name+"/busy_time", dma.st.BusyTime)
+			m.ProbeTime(prefix+"/"+dma.name+"/wait_time", dma.st.WaitTime)
+			dma.st.RecordSpans(m, i, dma.name, "nic")
+		}
+		hw.link.Instrument(m, i)
+		hw.acks = m.Counter(prefix + "/acks")
+	}
+	// The star path carries switch output contention on the destination's
+	// down-link (see fabric.Switch), so the crossbar's own port pipes never
+	// run and registering them would only add zero rows.
+}
+
 // Utilizations implements dev.UtilizationReporter.
 func (n *Network) Utilizations() []dev.Utilization {
 	var out []dev.Utilization
@@ -215,7 +253,7 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 	if node < 0 || node >= len(n.nodes) {
 		panic("gm: bad node index")
 	}
-	return &endpoint{
+	ep := &endpoint{
 		net:  n,
 		node: node,
 		pin: memreg.NewPinCache(
@@ -223,12 +261,16 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 			memreg.CostModel{PerOp: deregPerOp, PerPage: deregPage},
 			pinCapPages),
 	}
+	ep.nic = dev.NewNICCounters(n.met, node)
+	dev.InstrumentPinCache(n.met, node, ep.pin)
+	return ep
 }
 
 type endpoint struct {
 	net  *Network
 	node int
 	pin  *memreg.PinCache
+	nic  dev.NICCounters
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -318,9 +360,11 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 			// GM reliability: the receiving LANai generates an ACK that the
 			// sending LANai must absorb.
 			dstHW.lanai.Use(eng.Now(), ackProcess)
+			dstHW.acks.Inc()
 			if dstHW != src {
 				eng.Schedule(ackFlight, func() {
 					src.lanai.Use(eng.Now(), ackProcess)
+					src.acks.Inc()
 				})
 			}
 			deliver()
@@ -329,16 +373,19 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 
 // Eager implements dev.Endpoint (gm_send into a pre-posted receive buffer).
 func (ep *endpoint) Eager(dst int, size int64, deliver func()) {
+	ep.nic.Eager(size)
 	ep.transfer(dst, size+32, false, deliver)
 }
 
 // Control implements dev.Endpoint.
 func (ep *endpoint) Control(dst int, deliver func()) {
+	ep.nic.Control()
 	ep.transfer(dst, 64, false, deliver)
 }
 
 // Bulk implements dev.Endpoint (gm_directed_send, zero copy).
 func (ep *endpoint) Bulk(dst int, size int64, deliver func()) {
+	ep.nic.Bulk(size)
 	ep.transfer(dst, size, true, deliver)
 }
 

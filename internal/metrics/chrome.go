@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mpinet/internal/trace"
+	"mpinet/internal/units"
+)
+
+// chromeEvent is one Chrome trace_event record. Field order is fixed by the
+// struct, so encoding/json emits byte-identical output for identical runs.
+// Timestamps and durations are microseconds (the format's native unit);
+// simulated picoseconds convert at 1e6 ps/us without losing sub-ns detail
+// thanks to the float mantissa at trace-scale magnitudes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func toMicros(t units.Time) float64 { return float64(t) / 1e6 }
+
+// WriteChromeTrace renders device-level spans fused with message-level
+// timeline events as Chrome trace_event JSON, loadable in chrome://tracing
+// or https://ui.perfetto.dev. Each simulated node is a trace "process";
+// each track within a node ("bus", "nic", "rank3", ...) is a "thread".
+// Spans become complete ("X") events; timeline events become thread-scoped
+// instants ("i") on the owning rank's track. nodeOf maps a world rank to
+// its node index (needed because the timeline records ranks, not nodes);
+// pass nil when events is empty. Output is deterministic: tids are
+// assigned by sorted (node, track) order and encoding/json sorts arg keys.
+func WriteChromeTrace(w io.Writer, spans []Span, events []trace.Event, nodeOf func(rank int) int) error {
+	type lane struct {
+		node  int
+		track string
+	}
+	lanes := make(map[lane]int)
+	var order []lane
+	note := func(l lane) {
+		if _, ok := lanes[l]; !ok {
+			lanes[l] = 0
+			order = append(order, l)
+		}
+	}
+	for _, s := range spans {
+		note(lane{s.Node, s.Track})
+	}
+	rankLane := func(r int) lane {
+		n := 0
+		if nodeOf != nil {
+			n = nodeOf(r)
+		}
+		return lane{n, fmt.Sprintf("rank%d", r)}
+	}
+	for _, e := range events {
+		note(rankLane(e.Rank))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].node != order[j].node {
+			return order[i].node < order[j].node
+		}
+		return order[i].track < order[j].track
+	})
+	var out []chromeEvent
+	for tid, l := range order {
+		lanes[l] = tid
+		pname := fmt.Sprintf("node%d", l.node)
+		if l.node == FabricNode {
+			pname = "fabric"
+		}
+		out = append(out,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: l.node, Tid: tid,
+				Args: map[string]any{"name": pname}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: l.node, Tid: tid,
+				Args: map[string]any{"name": l.track}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: l.node, Tid: tid,
+				Args: map[string]any{"sort_index": tid}},
+		)
+	}
+	for _, s := range spans {
+		dur := toMicros(s.End - s.Start)
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: toMicros(s.Start), Dur: &dur,
+			Pid: s.Node, Tid: lanes[lane{s.Node, s.Track}],
+		}
+		if s.Size > 0 {
+			ev.Args = map[string]any{"bytes": s.Size}
+		}
+		out = append(out, ev)
+	}
+	for _, e := range events {
+		l := rankLane(e.Rank)
+		args := map[string]any{"peer": e.Peer, "tag": e.Tag, "comm": e.Comm}
+		if e.Size > 0 {
+			args["bytes"] = e.Size
+		}
+		ev := chromeEvent{
+			Name: e.Kind.String(), Cat: "mpi-msg", Ph: "i",
+			Ts: toMicros(e.At), Pid: l.node, Tid: lanes[l],
+			S: "t", Args: args,
+		}
+		out = append(out, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, Unit: "ns"})
+}

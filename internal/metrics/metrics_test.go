@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpinet/internal/trace"
+	"mpinet/internal/units"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	tm := r.Timer("x")
+	h := r.SizeHist("x")
+	if c != nil || g != nil || tm != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	tm.Add(units.Microsecond)
+	h.Observe(4096, units.Microsecond)
+	r.Span(Span{})
+	r.ProbeCount("p", func() int64 { return 1 })
+	if c.Value() != 0 || g.HighWater() != 0 || tm.Total() != 0 {
+		t.Fatalf("nil handles must stay zero")
+	}
+	if got := r.Snapshot(); len(got.Items) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %v", got.Items)
+	}
+	if r.Spans() != nil || r.SpanDropped() != 0 {
+		t.Fatalf("nil registry span log must be empty")
+	}
+}
+
+func TestHandlesSharedByName(t *testing.T) {
+	r := New()
+	a, b := r.Counter("node0/x"), r.Counter("node0/x")
+	if a != b {
+		t.Fatalf("same name must resolve to the same counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("shared counter = %d, want 3", a.Value())
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth")
+	g.Add(2)
+	g.Add(3)
+	g.Add(-4)
+	if g.Value() != 1 || g.HighWater() != 5 {
+		t.Fatalf("got cur=%d hw=%d, want 1, 5", g.Value(), g.HighWater())
+	}
+}
+
+func TestSizeHistBuckets(t *testing.T) {
+	r := New()
+	h := r.SizeHist("msg")
+	h.Observe(100, units.Microsecond)
+	h.Observe(4096, 2*units.Microsecond)
+	h.Observe(1<<20+1, 0)
+	if h.Count[trace.Below2K] != 1 || h.Count[trace.To16K] != 1 || h.Count[trace.Above1M] != 1 {
+		t.Fatalf("bucket counts wrong: %v", h.Count)
+	}
+	if h.Time[trace.To16K] != 2*units.Microsecond {
+		t.Fatalf("bucket time wrong: %v", h.Time)
+	}
+}
+
+func TestProbeComposition(t *testing.T) {
+	r := New()
+	r.ProbeCount("node0/pin/hits", func() int64 { return 3 })
+	r.ProbeCount("node0/pin/hits", func() int64 { return 4 })
+	r.ProbeGauge("node0/depth", func() int64 { return 2 })
+	r.ProbeGauge("node0/depth", func() int64 { return 9 })
+	r.ProbeTime("node0/busy", func() units.Time { return units.Microsecond })
+	s := r.Snapshot()
+	if v, _ := s.Get("node0/pin/hits"); v != 7 {
+		t.Fatalf("count probes must sum: got %d, want 7", v)
+	}
+	if v, _ := s.Get("node0/depth"); v != 9 {
+		t.Fatalf("gauge probes must take max: got %d, want 9", v)
+	}
+	if v, _ := s.Get("node0/busy"); v != int64(units.Microsecond) {
+		t.Fatalf("time probe = %d", v)
+	}
+}
+
+func TestSpanCapAndDropCount(t *testing.T) {
+	r := New()
+	r.SpanMax = 2
+	for i := 0; i < 5; i++ {
+		r.Span(Span{Node: 0, Track: "bus", Name: "dma"})
+	}
+	if len(r.Spans()) != 2 || r.SpanDropped() != 3 {
+		t.Fatalf("got %d spans, %d dropped; want 2, 3", len(r.Spans()), r.SpanDropped())
+	}
+	if v, ok := r.Snapshot().Get("metrics/spans_dropped"); !ok || v != 3 {
+		t.Fatalf("snapshot must surface the drop count, got %d (%v)", v, ok)
+	}
+}
+
+func TestSnapshotMerged(t *testing.T) {
+	r := New()
+	r.Counter("node0/nic/eager_msgs").Add(5)
+	r.Counter("node1/nic/eager_msgs").Add(7)
+	r.Gauge("rank0/mpi/unexp_depth").Set(2)
+	r.Gauge("rank1/mpi/unexp_depth").Set(6)
+	r.Counter("engine/events").Add(11)
+	m := r.Snapshot().Merged()
+	if v, _ := m.Get("nic/eager_msgs"); v != 12 {
+		t.Fatalf("merged count = %d, want 12", v)
+	}
+	if v, _ := m.Get("mpi/unexp_depth"); v != 6 {
+		t.Fatalf("merged gauge = %d, want max 6", v)
+	}
+	if v, _ := m.Get("engine/events"); v != 11 {
+		t.Fatalf("unscoped metric must pass through, got %d", v)
+	}
+}
+
+func TestSnapshotDeterministicRender(t *testing.T) {
+	build := func() string {
+		r := New()
+		r.Counter("node1/b").Add(2)
+		r.Counter("node0/a").Inc()
+		r.Timer("node0/t").Add(3 * units.Microsecond)
+		r.SizeHist("node0/h").Observe(4096, units.Microsecond)
+		r.ProbeCount("node0/p", func() int64 { return 4 })
+		var buf bytes.Buffer
+		r.Snapshot().Render(&buf)
+		return buf.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "node0/a") || !strings.Contains(a, "node0/h{2K-16K}/count") {
+		t.Fatalf("render missing expected rows:\n%s", a)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := New()
+	r.Span(Span{Node: 0, Track: "bus", Name: "dma", Cat: "bus",
+		Start: 0, End: 2 * units.Microsecond, Size: 4096})
+	r.Span(Span{Node: 1, Track: "nic", Name: "eager", Cat: "nic",
+		Start: units.Microsecond, End: 3 * units.Microsecond})
+	events := []trace.Event{
+		{At: units.Microsecond, Rank: 1, Kind: trace.EvSendStart, Peer: 0, Tag: 7, Size: 4096},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Spans(), events, func(rank int) int { return rank }); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, instant, meta int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			complete++
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 || instant != 1 || meta == 0 {
+		t.Fatalf("got %d complete, %d instant, %d metadata events", complete, instant, meta)
+	}
+	// Determinism: same inputs, byte-identical output.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, r.Spans(), events, func(rank int) int { return rank }); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("chrome trace output is not deterministic")
+	}
+}

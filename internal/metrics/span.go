@@ -1,0 +1,53 @@
+package metrics
+
+import "mpinet/internal/units"
+
+// FabricNode is the pseudo-node owning shared fabric resources (switch
+// ports, inter-switch links) in spans and the Chrome trace: they belong to
+// no host, so they render as a "fabric" process of their own.
+const FabricNode = -1
+
+// Span is one device-level interval of simulated time: a DMA crossing the
+// I/O bus, a NIC pipeline stage, a link transfer, an MPI request's
+// lifetime. Spans carry enough structure for the Chrome trace_event
+// exporter to place them: Node becomes the trace "process", Track the
+// "thread" within it ("bus", "nic", "rank3", ...).
+type Span struct {
+	Node  int        // owning node, or -1 for cluster-global
+	Track string     // lane within the node: "bus", "nic", "link0", "rank2"
+	Name  string     // operation: "dma", "eager", "rndv", "send 64KB"
+	Cat   string     // layer category: "bus", "nic", "fabric", "mpi", "shmem"
+	Start units.Time // interval start, simulated picoseconds
+	End   units.Time // interval end
+	Size  int64      // payload bytes, 0 when not applicable
+}
+
+// Span appends one interval to the span log, dropping (and counting) past
+// SpanMax. No-op on a nil registry; never schedules or charges sim time.
+func (r *Registry) Span(s Span) {
+	if r == nil {
+		return
+	}
+	if r.SpanMax > 0 && len(r.spans) >= r.SpanMax {
+		r.spanDropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns the recorded span log in recording order (nil on a nil
+// registry). The slice is the registry's own; callers must not mutate it.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// SpanDropped reports how many spans were discarded after the log filled.
+func (r *Registry) SpanDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spanDropped
+}

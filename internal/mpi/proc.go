@@ -1,10 +1,14 @@
 package mpi
 
 import (
+	"strconv"
+
 	"mpinet/internal/dev"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
+	"mpinet/internal/units"
 )
 
 // procState is the per-rank library state: queues, progress engine,
@@ -40,6 +44,44 @@ type procState struct {
 	splitGen map[int]int
 	// collScratch is a reusable buffer for collective intermediates.
 	collScratch memreg.Buf
+
+	// Observability handles (all nil-safe no-ops when metrics are off).
+	met         *metrics.Registry
+	track       string // Chrome-trace thread name, "rank<N>"
+	unexpHW     *metrics.Gauge
+	postedHW    *metrics.Gauge
+	reqHist     *metrics.SizeHist
+	eagerCopies *metrics.Counter
+}
+
+// bindMetrics resolves this rank's instrument handles. Safe with m == nil:
+// every handle comes back nil and every update is a no-op.
+func (ps *procState) bindMetrics(m *metrics.Registry) {
+	ps.met = m
+	ps.track = "rank" + strconv.Itoa(ps.rank)
+	pfx := metrics.RankPrefix(ps.rank) + "mpi"
+	ps.unexpHW = m.Gauge(pfx + "/unexp_depth")
+	ps.postedHW = m.Gauge(pfx + "/posted_depth")
+	ps.reqHist = m.SizeHist(pfx + "/req")
+	ps.eagerCopies = m.Counter(metrics.NodePrefix(ps.node) + "nic/eager_copies")
+	if m != nil {
+		m.ProbeTime(pfx+"/host_busy", func() units.Time { return ps.hostBusy })
+	}
+}
+
+// finishReq records a completed request's lifetime in the per-rank size-class
+// histogram and emits an "mpi" span covering post-to-completion. Called from
+// every completion site; a no-op when metrics are off.
+func (ps *procState) finishReq(r *Request, name string) {
+	if ps.met == nil {
+		return
+	}
+	now := ps.world.eng.Now()
+	ps.reqHist.Observe(r.size, now-r.born)
+	ps.met.Span(metrics.Span{
+		Node: ps.node, Track: ps.track, Name: name, Cat: "mpi",
+		Start: r.born, End: now, Size: r.size,
+	})
 }
 
 // scratch returns a persistent buffer of at least size bytes for collective
@@ -171,6 +213,7 @@ func (ps *procState) removePosted(r *Request) {
 	for i, x := range ps.posted {
 		if x == r {
 			ps.posted = append(ps.posted[:i], ps.posted[i+1:]...)
+			ps.postedHW.Set(int64(len(ps.posted)))
 			return
 		}
 	}
@@ -181,6 +224,7 @@ func (ps *procState) removeUnexpected(m *inMsg) {
 	for i, x := range ps.unexp {
 		if x == m {
 			ps.unexp = append(ps.unexp[:i], ps.unexp[i+1:]...)
+			ps.unexpHW.Set(int64(len(ps.unexp)))
 			return
 		}
 	}

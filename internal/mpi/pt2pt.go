@@ -51,6 +51,7 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 		peer:   dst,
 		tag:    tag,
 		size:   buf.Size,
+		born:   ps.world.eng.Now(),
 	}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
@@ -71,11 +72,14 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 // into the shared segment and the message is visible a half-handshake later.
 func (ps *procState) shmSend(p *sim.Proc, req *Request, dstPS *procState) {
 	ch := ps.world.shm[ps.node]
-	ps.busy(p, ch.HalfHandshake()+ch.CopyTime(req.size))
+	copyCost := ch.CopyTime(req.size)
+	ps.busy(p, ch.HalfHandshake()+copyCost)
+	ch.CountCopy(req.size, copyCost)
 	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chShm}
 	ch.Deliver(func() { dstPS.arrive(m) })
 	req.done = true
 	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
+	ps.finishReq(req, "send")
 }
 
 // eagerSend copies into pre-registered staging (VAPI/GM) or hands the user
@@ -86,12 +90,14 @@ func (ps *procState) eagerSend(p *sim.Proc, req *Request, dstPS *procState) {
 		cost += ps.ep.AcquireBuf(req.buf)
 	} else {
 		cost += ps.ep.CopyTime(req.size)
+		ps.eagerCopies.Inc()
 	}
 	ps.busy(p, cost)
 	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chNet}
 	ps.ep.Eager(dstPS.node, req.size, func() { dstPS.arrive(m) })
 	req.done = true
 	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
+	ps.finishReq(req, "send")
 }
 
 // rndvSend opens the rendezvous: register the buffer, send RTS, and wait
@@ -121,6 +127,7 @@ func (ps *procState) arriveMatched(m *inMsg) {
 	r := ps.matchPosted(m.comm, m.src, m.tag)
 	if r == nil {
 		ps.unexp = append(ps.unexp, m)
+		ps.unexpHW.Set(int64(len(ps.unexp)))
 		ps.notify()
 		return
 	}
@@ -144,7 +151,9 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 	switch {
 	case m.ch == chShm:
 		ch := ps.world.shm[ps.node]
-		cost := ch.HalfHandshake() + ch.CopyTime(m.size)
+		copyCost := ch.CopyTime(m.size)
+		ch.CountCopy(m.size, copyCost)
+		cost := ch.HalfHandshake() + copyCost
 		if inline {
 			ps.busy(pOpt[0], cost)
 			finish()
@@ -157,9 +166,11 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 		finish()
 	case ps.ep.NICProgress() && inline:
 		// Unexpected on a NIC-matching device: drain from NIC buffering.
+		ps.eagerCopies.Inc()
 		ps.busy(pOpt[0], ps.ep.CopyTime(m.size))
 		finish()
 	default:
+		ps.eagerCopies.Inc()
 		cost := ps.ep.RecvOverhead(m.size) + ps.ep.CopyTime(m.size)
 		if inline {
 			ps.busy(pOpt[0], cost)
@@ -243,6 +254,7 @@ func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, 
 		src:  src,
 		tag:  tag,
 		size: buf.Size,
+		born: ps.world.eng.Now(),
 	}
 	ps.record(trace.EvRecvPost, src, tag, comm, buf.Size)
 	if m := ps.matchUnexpected(comm, src, tag); m != nil {
@@ -251,6 +263,7 @@ func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, 
 		ps.removeUnexpected(m)
 		// Keep the request discoverable for completion bookkeeping.
 		ps.posted = append(ps.posted, r)
+		ps.postedHW.Set(int64(len(ps.posted)))
 		switch m.kind {
 		case eagerMsg:
 			ps.deliverEager(r, m, true, p)
@@ -265,6 +278,7 @@ func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, 
 	// Nothing has arrived: queue the receive first — an arrival during the
 	// posting cost below must find it — then charge the cost.
 	ps.posted = append(ps.posted, r)
+	ps.postedHW.Set(int64(len(ps.posted)))
 	if ps.ep.NICProgress() {
 		// Tports posts the descriptor (and MMU entries) to the NIC now.
 		ps.busy(p, ps.ep.RecvOverhead(buf.Size)+ps.ep.AcquireBuf(buf))

@@ -65,7 +65,7 @@ func (r *Rank) Ssend(buf memreg.Buf, dst, tag int) {
 	if !ps.quiet {
 		ps.prof.Send(buf, dstPS.node == ps.node, false)
 	}
-	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size}
+	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.world.eng.Now()}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
 	ps.record(trace.EvSendStart, dst, tag, commWorldID, buf.Size)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpinet/internal/memreg"
+	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 )
 
@@ -26,6 +27,7 @@ type Request struct {
 	tag    int
 	size   int64
 	seq    int64
+	born   sim.Time // post time, for request-lifetime accounting
 	rndv   bool
 	done   bool
 
@@ -50,6 +52,7 @@ func (r *Request) complete(src, tag int, size int64) {
 	r.status = Status{Source: src, Tag: tag, Size: size}
 	r.ps.removePosted(r)
 	r.ps.record(trace.EvRecvDone, src, tag, r.comm, size)
+	r.ps.finishReq(r, "recv")
 	r.ps.notify()
 }
 
@@ -57,5 +60,6 @@ func (r *Request) complete(src, tag int, size int64) {
 func (r *Request) completeSend() {
 	r.done = true
 	r.ps.record(trace.EvSendDone, r.peer, r.tag, r.comm, r.size)
+	r.ps.finishReq(r, "send")
 	r.ps.notify()
 }

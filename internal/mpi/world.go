@@ -12,10 +12,12 @@ package mpi
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"mpinet/internal/dev"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
@@ -44,6 +46,10 @@ type Config struct {
 	// Timeline, when non-nil, collects message-level events from the run
 	// (see trace.Timeline).
 	Timeline *trace.Timeline
+	// Metrics, when non-nil, wires every layer — engine, bus, NIC, fabric,
+	// shared memory and this library — into the registry. Off (nil) by
+	// default; enabling it does not perturb simulated time.
+	Metrics *metrics.Registry
 }
 
 // World is one MPI job: a set of ranks wired to a network, ready to Run a
@@ -53,6 +59,7 @@ type World struct {
 	cfg   Config
 	procs []*procState
 	shm   map[int]*shmem.Channel
+	met   *metrics.Registry
 	start sim.Time
 	end   sim.Time
 
@@ -81,8 +88,17 @@ func NewWorld(cfg Config) *World {
 		eng:         cfg.Net.Engine(),
 		cfg:         cfg,
 		shm:         make(map[int]*shmem.Channel),
+		met:         cfg.Metrics,
 		commIDs:     make(map[string]int),
 		splitBoards: make(map[[2]int]map[int][2]int),
+	}
+	// Wire the hardware layers before any endpoint exists, so endpoints
+	// created below find the registry and bind their counters.
+	if w.met != nil {
+		if in, ok := cfg.Net.(metrics.Instrumentable); ok {
+			in.InstrumentMetrics(w.met)
+		}
+		w.eng.Instrument(w.met)
 	}
 	type shmemConfigurer interface{ ShmemConfig() shmem.Config }
 	shmCfg := shmem.DefaultConfig()
@@ -92,7 +108,9 @@ func NewWorld(cfg Config) *World {
 	for r := 0; r < cfg.Procs; r++ {
 		node := w.nodeOf(r)
 		if _, ok := w.shm[node]; !ok {
-			w.shm[node] = shmem.New(w.eng, shmCfg)
+			ch := shmem.New(w.eng, shmCfg)
+			ch.Instrument(w.met, node)
+			w.shm[node] = ch
 		}
 		ps := &procState{
 			world:    w,
@@ -103,6 +121,7 @@ func NewWorld(cfg Config) *World {
 			prof:     trace.New(),
 			splitGen: make(map[int]int),
 		}
+		ps.bindMetrics(w.met)
 		w.procs = append(w.procs, ps)
 	}
 	return w
@@ -133,13 +152,38 @@ func (w *World) Run(main func(r *Rank)) error {
 	w.start = w.eng.Now()
 	for _, ps := range w.procs {
 		ps := ps
-		w.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
+		proc := w.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
 			main(&Rank{p: p, ps: ps})
 		})
+		if w.met != nil {
+			pfx := metrics.RankPrefix(ps.rank) + "mpi"
+			w.met.ProbeTime(pfx+"/blocked_time", proc.BlockedTime)
+			w.met.ProbeTime(pfx+"/slept_time", proc.SleptTime)
+		}
 	}
 	err := w.eng.Run()
 	w.end = w.eng.Now()
 	return err
+}
+
+// Metrics returns the registry the world was configured with (nil when
+// instrumentation is off).
+func (w *World) Metrics() *metrics.Registry { return w.met }
+
+// WriteChromeTrace emits the run as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto): device spans from the metrics registry fused
+// with the message timeline's instants, one trace process per node plus one
+// for the switching fabric. Works with either source missing.
+func (w *World) WriteChromeTrace(out io.Writer) error {
+	var spans []metrics.Span
+	if w.met != nil {
+		spans = w.met.Spans()
+	}
+	var events []trace.Event
+	if w.cfg.Timeline != nil {
+		events = w.cfg.Timeline.Events
+	}
+	return metrics.WriteChromeTrace(out, spans, events, w.nodeOf)
 }
 
 // Elapsed returns the simulated wall-clock time of the last Run.

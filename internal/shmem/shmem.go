@@ -11,6 +11,7 @@
 package shmem
 
 import (
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -48,6 +49,34 @@ func DefaultConfig() Config {
 type Channel struct {
 	eng *sim.Engine
 	cfg Config
+
+	// metric handles, nil unless Instrument wired them (nil-safe no-ops)
+	msgs      *metrics.Counter
+	copies    *metrics.Counter
+	copyBytes *metrics.Counter
+	copyTime  *metrics.Timer
+}
+
+// Instrument registers the channel's message count, memcpy count, copied
+// bytes and copy time under nodeN/shmem/.... The MPI layer reports each
+// memcpy it charges via CountCopy.
+func (c *Channel) Instrument(m *metrics.Registry, node int) {
+	if m == nil {
+		return
+	}
+	prefix := metrics.NodePrefix(node) + "shmem"
+	c.msgs = m.Counter(prefix + "/msgs")
+	c.copies = m.Counter(prefix + "/copies")
+	c.copyBytes = m.Counter(prefix + "/copy_bytes")
+	c.copyTime = m.Timer(prefix + "/copy_time")
+}
+
+// CountCopy records one memcpy of n bytes taking d of host time. Callers
+// invoke it unconditionally; it is a no-op until Instrument wires handles.
+func (c *Channel) CountCopy(n int64, d sim.Time) {
+	c.copies.Inc()
+	c.copyBytes.Add(n)
+	c.copyTime.Add(d)
 }
 
 // New builds a node-local channel.
@@ -82,5 +111,6 @@ func (c *Channel) SegmentSize() int64 { return c.cfg.SegmentSize }
 // later. (The receiver's copy-out cost is charged by the MPI layer when the
 // receiver drains it, using CopyTime.)
 func (c *Channel) Deliver(deliver func()) {
+	c.msgs.Inc()
 	c.eng.Schedule(c.HalfHandshake(), deliver)
 }

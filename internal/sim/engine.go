@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"mpinet/internal/metrics"
 	"mpinet/internal/units"
 )
 
@@ -65,6 +66,9 @@ type Engine struct {
 	failure    interface{}
 	running    bool
 	dispatched uint64
+	qhw        int  // event-queue depth high-water mark
+	blocked    Time // total time processes spent blocked (not sleeping)
+	slept      Time // total time processes spent in Sleep
 }
 
 // New returns an empty engine with the clock at zero.
@@ -91,6 +95,9 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	if len(e.events) > e.qhw {
+		e.qhw = len(e.events)
+	}
 }
 
 // Run dispatches events until the queue is empty. If live processes remain
@@ -153,6 +160,31 @@ func (e *Engine) Dispatched() uint64 { return e.dispatched }
 // LiveProcs reports the number of processes that have been spawned and have
 // not yet returned.
 func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// QueueHighWater reports the deepest the event queue has ever been.
+func (e *Engine) QueueHighWater() int { return e.qhw }
+
+// BlockedTime reports total time processes spent blocked on conditions
+// (waiting for messages, resources) across the whole run — sleep time,
+// which models computation, is excluded.
+func (e *Engine) BlockedTime() Time { return e.blocked }
+
+// SleptTime reports total time processes spent in Sleep (modelled compute).
+func (e *Engine) SleptTime() Time { return e.slept }
+
+// Instrument registers the engine's own health metrics in m: events
+// dispatched, event-queue depth high-water, and aggregate process
+// blocked/slept time. All are snapshot-time probes; the event loop itself
+// is untouched.
+func (e *Engine) Instrument(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	m.ProbeCount("engine/events_dispatched", func() int64 { return int64(e.dispatched) })
+	m.ProbeGauge("engine/queue_high_water", func() int64 { return int64(e.qhw) })
+	m.ProbeTime("engine/blocked_time", e.BlockedTime)
+	m.ProbeTime("engine/slept_time", e.SleptTime)
+}
 
 // DeadlockError is returned by Run when all events have drained while
 // simulated processes are still blocked — the simulation analogue of an MPI

@@ -17,6 +17,11 @@ type Proc struct {
 	// blockedOn describes what the process is waiting for; surfaced in
 	// deadlock reports.
 	blockedOn string
+
+	// blocked/slept accounting. Updated only while this process holds the
+	// control token, so plain fields are race-free.
+	blocked Time // time parked on conditions (waiting, not computing)
+	slept   Time // time parked in Sleep (modelled compute)
 }
 
 type parkMsg struct {
@@ -64,8 +69,17 @@ func (e *Engine) step(p *Proc) {
 // this process via a wake event.
 func (p *Proc) park(why string) {
 	p.blockedOn = why
+	t0 := p.eng.now
 	p.parked <- parkMsg{}
 	<-p.resume
+	d := p.eng.now - t0
+	if why == "sleep" {
+		p.slept += d
+		p.eng.slept += d
+	} else {
+		p.blocked += d
+		p.eng.blocked += d
+	}
 	p.blockedOn = ""
 }
 
@@ -77,6 +91,13 @@ func (p *Proc) wake(delay Time) {
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// BlockedTime reports how long this process has spent parked on conditions
+// (message waits, resource queues) — sleep time is excluded.
+func (p *Proc) BlockedTime() Time { return p.blocked }
+
+// SleptTime reports how long this process has spent in Sleep.
+func (p *Proc) SleptTime() Time { return p.slept }
 
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"mpinet/internal/metrics"
 	"mpinet/internal/units"
 )
 
@@ -22,7 +23,15 @@ type Station struct {
 	// accounting
 	busy     Time // total busy time
 	jobs     int64
+	wait     Time // cumulative queueing delay (submission to service start)
 	lastSeen Time
+
+	// span recording, nil/zero unless RecordSpans armed it
+	met      *metrics.Registry
+	spanNode int
+	spanOp   string
+	spanCat  string
+	spanSize int64 // payload hint for the next Use, set by Pipe.Send
 }
 
 // NewStation returns an idle station. The name appears in diagnostics.
@@ -47,8 +56,32 @@ func (s *Station) Use(now Time, dur Time) (start, end Time) {
 	end = start + dur
 	s.free = end
 	s.busy += dur
+	s.wait += start - now
 	s.jobs++
+	if s.met != nil {
+		s.met.Span(metrics.Span{
+			Node: s.spanNode, Track: s.name, Name: s.spanOp, Cat: s.spanCat,
+			Start: start, End: end, Size: s.spanSize,
+		})
+		s.spanSize = 0
+	}
 	return start, end
+}
+
+// RecordSpans arms the station to log every job it serves as a device-level
+// span in m, attributed to node with the given operation name and layer
+// category. A nil m disarms. Recording never perturbs timing.
+func (s *Station) RecordSpans(m *metrics.Registry, node int, op, cat string) {
+	s.met, s.spanNode, s.spanOp, s.spanCat = m, node, op, cat
+}
+
+// NoteSize attaches a payload-size hint to the next Use, consumed by span
+// recording. Pipe.Send calls it automatically; byte-oriented wrappers that
+// compute their own durations (the bus) call it before Use.
+func (s *Station) NoteSize(n int64) {
+	if s.met != nil && n > 0 {
+		s.spanSize = n
+	}
 }
 
 // FreeAt reports the earliest instant the station would be idle.
@@ -59,6 +92,10 @@ func (s *Station) BusyTime() Time { return s.busy }
 
 // Jobs reports how many jobs the station has served.
 func (s *Station) Jobs() int64 { return s.jobs }
+
+// WaitTime reports cumulative queueing delay: how long jobs sat between
+// submission and service start — the station's contention measure.
+func (s *Station) WaitTime() Time { return s.wait }
 
 // Name returns the diagnostic name.
 func (s *Station) Name() string { return s.name }
@@ -71,6 +108,7 @@ type Pipe struct {
 	rate     units.BytesPerSecond
 	perJob   Time // fixed occupancy per job (arbitration, header)
 	minBytes int64
+	bytes    int64 // cumulative billed bytes
 }
 
 // NewPipe returns a pipe of the given rate. perJob is a fixed occupancy
@@ -90,8 +128,26 @@ func (p *Pipe) Send(now Time, n int64) (start, end Time) {
 	if n < p.minBytes {
 		n = p.minBytes
 	}
+	p.bytes += n
+	p.spanSize = n
 	return p.Use(now, p.perJob+p.rate.TimeFor(n))
 }
 
 // Rate returns the configured bandwidth.
 func (p *Pipe) Rate() units.BytesPerSecond { return p.rate }
+
+// Bytes reports cumulative billed bytes (after minBytes rounding).
+func (p *Pipe) Bytes() int64 { return p.bytes }
+
+// Instrument registers the pipe's job count, byte volume, busy and wait
+// times in m under prefix (e.g. "node0/link/up"), read by snapshot-time
+// probes at zero per-job cost.
+func (p *Pipe) Instrument(m *metrics.Registry, prefix string) {
+	if m == nil {
+		return
+	}
+	m.ProbeCount(prefix+"/jobs", p.Jobs)
+	m.ProbeCount(prefix+"/bytes", p.Bytes)
+	m.ProbeTime(prefix+"/busy_time", p.BusyTime)
+	m.ProbeTime(prefix+"/wait_time", p.WaitTime)
+}

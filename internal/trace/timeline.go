@@ -51,28 +51,28 @@ type Event struct {
 
 // Timeline collects message-level events from an MPI run — the simulation
 // analogue of an MPE/jumpshot log. A zero Max keeps everything; otherwise
-// collection stops after Max events (the run itself is unaffected).
+// collection stops after Max events (the run itself is unaffected) and
+// Dropped counts what was discarded.
 type Timeline struct {
 	Max    int
 	Events []Event
 
-	full bool
+	// Dropped counts events discarded after Max was reached, so a
+	// truncated timeline is visible rather than inferred.
+	Dropped int
 }
 
 // Add appends an event, honouring Max.
 func (t *Timeline) Add(e Event) {
-	if t.full {
-		return
-	}
 	if t.Max > 0 && len(t.Events) >= t.Max {
-		t.full = true
+		t.Dropped++
 		return
 	}
 	t.Events = append(t.Events, e)
 }
 
 // Truncated reports whether events were dropped due to Max.
-func (t *Timeline) Truncated() bool { return t.full }
+func (t *Timeline) Truncated() bool { return t.Dropped > 0 }
 
 // Render writes the timeline as an aligned chronological listing.
 func (t *Timeline) Render(w io.Writer) {
@@ -91,8 +91,8 @@ func (t *Timeline) Render(w io.Writer) {
 			e.At.String(), e.Rank, e.Kind.String(), peer, tag, e.Comm,
 			units.SizeString(e.Size))
 	}
-	if t.full {
-		fmt.Fprintln(w, "... (truncated)")
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, "... (truncated: %d events dropped)\n", t.Dropped)
 	}
 }
 

@@ -13,8 +13,8 @@ func TestTimelineAddAndMax(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		tl.Add(Event{At: units.Time(i), Rank: i, Kind: EvSendStart})
 	}
-	if len(tl.Events) != 3 || !tl.Truncated() {
-		t.Fatalf("events=%d truncated=%v", len(tl.Events), tl.Truncated())
+	if len(tl.Events) != 3 || !tl.Truncated() || tl.Dropped != 2 {
+		t.Fatalf("events=%d truncated=%v dropped=%d", len(tl.Events), tl.Truncated(), tl.Dropped)
 	}
 	unbounded := &Timeline{}
 	for i := 0; i < 100; i++ {
@@ -22,6 +22,36 @@ func TestTimelineAddAndMax(t *testing.T) {
 	}
 	if len(unbounded.Events) != 100 || unbounded.Truncated() {
 		t.Fatal("unbounded timeline dropped events")
+	}
+}
+
+func TestTimelineExactMaxBoundary(t *testing.T) {
+	// Filling to exactly Max drops nothing; the Max+1'th add is the first
+	// dropped event.
+	tl := &Timeline{Max: 3}
+	for i := 0; i < 3; i++ {
+		tl.Add(Event{At: units.Time(i)})
+	}
+	if len(tl.Events) != 3 || tl.Truncated() || tl.Dropped != 0 {
+		t.Fatalf("at exact Max: events=%d truncated=%v dropped=%d",
+			len(tl.Events), tl.Truncated(), tl.Dropped)
+	}
+	tl.Add(Event{At: 3})
+	if len(tl.Events) != 3 || !tl.Truncated() || tl.Dropped != 1 {
+		t.Fatalf("past Max: events=%d truncated=%v dropped=%d",
+			len(tl.Events), tl.Truncated(), tl.Dropped)
+	}
+}
+
+func TestTimelineRenderReportsDropCount(t *testing.T) {
+	tl := &Timeline{Max: 1}
+	tl.Add(Event{})
+	tl.Add(Event{})
+	tl.Add(Event{})
+	var b bytes.Buffer
+	tl.Render(&b)
+	if !strings.Contains(b.String(), "2 events dropped") {
+		t.Fatalf("render must report the drop count:\n%s", b.String())
 	}
 }
 

@@ -39,14 +39,16 @@ func (s SizeClass) String() string {
 	}
 }
 
-// ClassOf buckets a byte count.
+// ClassOf buckets a byte count. All upper bounds are exclusive, matching
+// Table 1's "2 KB–16 KB, 16 KB–1 MB" ranges: exactly 16 KB falls in the
+// 16 KB–1 MB class and exactly 1 MB in the >1 MB class.
 func ClassOf(size int64) SizeClass {
 	switch {
 	case size < 2*1024:
 		return Below2K
-	case size <= 16*1024:
+	case size < 16*1024:
 		return To16K
-	case size <= 1024*1024:
+	case size < 1024*1024:
 		return To1M
 	default:
 		return Above1M

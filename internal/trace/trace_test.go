@@ -10,12 +10,16 @@ import (
 func buf(addr, size int64) memreg.Buf { return memreg.Buf{Addr: addr, Size: size} }
 
 func TestClassOfBoundaries(t *testing.T) {
+	// All upper bounds are exclusive (Table 1's "2 KB–16 KB, 16 KB–1 MB"):
+	// the exact boundary values 2K, 16K and 1M land in the higher class.
 	cases := []struct {
 		size int64
 		want SizeClass
 	}{
-		{0, Below2K}, {2047, Below2K}, {2048, To16K}, {16384, To16K},
-		{16385, To1M}, {1 << 20, To1M}, {1<<20 + 1, Above1M},
+		{0, Below2K}, {2047, Below2K},
+		{2048, To16K}, {16383, To16K},
+		{16384, To1M}, {1<<20 - 1, To1M},
+		{1 << 20, Above1M}, {1<<20 + 1, Above1M},
 	}
 	for _, c := range cases {
 		if got := ClassOf(c.size); got != c.want {
@@ -146,6 +150,37 @@ func TestMergePreservesTotals(t *testing.T) {
 	// 2 sends + 1 recv + 2 collectives (receives count in the histogram).
 	if histSum != 5 {
 		t.Fatalf("merged histogram sum = %d, want 5", histSum)
+	}
+}
+
+func TestMergeCollByName(t *testing.T) {
+	a, b, c := New(), New(), New()
+	a.Collective("Bcast", 64, buf(0, 64))
+	a.Collective("Allreduce", 128, buf(0, 128))
+	b.Collective("Bcast", 64, buf(0, 64))
+	b.Collective("Alltoall", 1<<20, buf(0, 1<<20))
+	c.Collective("Allreduce", 128, buf(0, 128))
+
+	m := New()
+	for _, p := range []*Profile{a, b, c} {
+		m.Merge(p)
+	}
+	want := map[string]int64{"Bcast": 2, "Allreduce": 2, "Alltoall": 1}
+	if len(m.CollByName) != len(want) {
+		t.Fatalf("merged CollByName = %v, want %v", m.CollByName, want)
+	}
+	for name, n := range want {
+		if m.CollByName[name] != n {
+			t.Errorf("CollByName[%q] = %d, want %d", name, m.CollByName[name], n)
+		}
+	}
+	// Merging an empty profile must not disturb the maps.
+	m.Merge(New())
+	if m.CollByName["Bcast"] != 2 {
+		t.Fatal("merge with empty profile corrupted CollByName")
+	}
+	if m.CollCalls != 5 || m.CollBytes != 64+128+64+1<<20+128 {
+		t.Fatalf("collective totals: calls=%d bytes=%d", m.CollCalls, m.CollBytes)
 	}
 }
 

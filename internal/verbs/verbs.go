@@ -26,6 +26,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -119,6 +120,7 @@ type Network struct {
 	cfg   Config
 	topo  fabric.Topology
 	nodes []*nodeHW
+	met   *metrics.Registry
 }
 
 type nodeHW struct {
@@ -199,6 +201,29 @@ func (n *Network) ShmemConfig() shmem.Config {
 	return c
 }
 
+// InstrumentMetrics implements metrics.Instrumentable: per-node bus, HCA
+// engine, and link counters plus device-level spans, and the switching
+// fabric's per-port counters. Endpoints created afterwards bind protocol
+// counters and pin-cache probes to the same registry.
+func (n *Network) InstrumentMetrics(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	n.met = m
+	for i, hw := range n.nodes {
+		prefix := metrics.NodePrefix(i) + "nic"
+		hw.bus.Instrument(m, i)
+		hw.hcaTx.Instrument(m, prefix+"/tx")
+		hw.hcaRx.Instrument(m, prefix+"/rx")
+		hw.hcaTx.RecordSpans(m, i, "tx", "nic")
+		hw.hcaRx.RecordSpans(m, i, "rx", "nic")
+		hw.link.Instrument(m, i)
+	}
+	if ti, ok := n.topo.(interface{ Instrument(*metrics.Registry) }); ok {
+		ti.Instrument(m)
+	}
+}
+
 // Utilizations implements dev.UtilizationReporter.
 func (n *Network) Utilizations() []dev.Utilization {
 	var out []dev.Utilization
@@ -219,7 +244,7 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 	if node < 0 || node >= len(n.nodes) {
 		panic("verbs: bad node index")
 	}
-	return &endpoint{
+	ep := &endpoint{
 		net:  n,
 		node: node,
 		pin: memreg.NewPinCache(
@@ -227,6 +252,10 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 			memreg.CostModel{PerOp: deregPerOp, PerPage: deregPage},
 			pinCapPages),
 	}
+	ep.nic = dev.NewNICCounters(n.met, node)
+	ep.connSetups = n.met.Counter(metrics.NodePrefix(node) + "nic/conn_setups")
+	dev.InstrumentPinCache(n.met, node, ep.pin)
+	return ep
 }
 
 type endpoint struct {
@@ -236,6 +265,10 @@ type endpoint struct {
 
 	// connected tracks established RC connections under on-demand mode.
 	connected map[int]bool
+
+	// metric handles (nil-safe no-ops when instrumentation is off)
+	nic        dev.NICCounters
+	connSetups *metrics.Counter
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -288,6 +321,7 @@ func (ep *endpoint) connect(dst int) sim.Time {
 		return 0
 	}
 	ep.connected[dst] = true
+	ep.connSetups.Inc()
 	return connSetup
 }
 
@@ -378,16 +412,19 @@ func (ep *endpoint) HWMulticastEnabled() bool { return ep.net.cfg.HWMulticast }
 // into pre-registered remote buffers; on the wire this is envelope+payload
 // through the full path.
 func (ep *endpoint) Eager(dst int, size int64, deliver func()) {
+	ep.nic.Eager(size)
 	ep.transfer(dst, size+32, deliver) // 32-byte envelope/header
 }
 
 // Control implements dev.Endpoint (RTS/CTS/FIN as small RDMA writes).
 func (ep *endpoint) Control(dst int, deliver func()) {
+	ep.nic.Control()
 	ep.transfer(dst, 64, deliver)
 }
 
 // Bulk implements dev.Endpoint: the rendezvous payload as one RDMA write.
 func (ep *endpoint) Bulk(dst int, size int64, deliver func()) {
+	ep.nic.Bulk(size)
 	ep.transfer(dst, size, deliver)
 }
 

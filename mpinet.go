@@ -38,6 +38,7 @@ import (
 	"mpinet/internal/apps"
 	"mpinet/internal/cluster"
 	"mpinet/internal/memreg"
+	"mpinet/internal/metrics"
 	"mpinet/internal/microbench"
 	"mpinet/internal/mpi"
 	"mpinet/internal/sim"
@@ -81,7 +82,17 @@ type (
 	TimelineEvent = trace.Event
 	// LogPParams is a LogGP characterization of an interconnect.
 	LogPParams = microbench.LogPParams
+	// Metrics is the cross-layer observability registry; set it on
+	// WorldConfig.Metrics (via NewMetrics) to record every layer's counters
+	// and spans. See docs/MODEL.md §10.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a rendered view of a Metrics registry.
+	MetricsSnapshot = metrics.Snapshot
 )
+
+// NewMetrics returns an empty observability registry for
+// WorldConfig.Metrics.
+func NewMetrics() *Metrics { return metrics.New() }
 
 // Workload problem classes.
 const (

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repo health check: static analysis, the full test suite under the race
+# detector, and an end-to-end determinism smoke test — two identical
+# instrumented runs must produce byte-identical metrics snapshots and
+# Chrome traces.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+# The experiments and apps suites run minutes-long simulations; under the
+# race detector on few cores they overrun go test's default 10m per-package
+# timeout, so set one that fits the slowest package.
+go test -race -timeout 60m ./...
+
+echo "== determinism smoke test =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+for i in 1 2; do
+    go run ./cmd/paperrepro -obsnet Myri \
+        -metrics "$tmp/snap$i.txt" -tracefile "$tmp/trace$i.json" 2>/dev/null
+done
+cmp "$tmp/snap1.txt" "$tmp/snap2.txt" || {
+    echo "FAIL: metrics snapshots differ between identical runs" >&2; exit 1;
+}
+cmp "$tmp/trace1.json" "$tmp/trace2.json" || {
+    echo "FAIL: Chrome traces differ between identical runs" >&2; exit 1;
+}
+echo "byte-identical across runs"
+
+echo "OK"
