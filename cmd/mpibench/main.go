@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	mpibench [-fig N] [-quick] [-v]
+//	mpibench [-fig N] [-quick] [-j N] [-v]
 //	mpibench [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
 //
 // Without -fig it runs the whole suite: Figures 1-13 plus the PCI
 // comparison Figures 26-27. -quick thins the size sweeps for a fast smoke
-// run.
+// run. Figures are independent simulations and fan out over -j worker
+// goroutines (default: one per core); output order and bytes are identical
+// for every -j value.
 //
 // The second form runs the instrumented observability demo workload:
 // -metrics writes the cross-layer metrics snapshot, -tracefile a Chrome
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mpinet/internal/cluster"
 	"mpinet/internal/experiments"
@@ -33,6 +36,7 @@ func main() {
 	plot := flag.Bool("plot", false, "with -fig: render an ASCII chart instead of the data table")
 	csv := flag.Bool("csv", false, "with -fig: emit CSV instead of the data table")
 	quick := flag.Bool("quick", false, "thin sweeps for a fast smoke run")
+	jobs := flag.Int("j", runtime.NumCPU(), "figures to run concurrently (output is identical for any value)")
 	logp := flag.Bool("logp", false, "extract LogGP parameters per interconnect and exit")
 	verbose := flag.Bool("v", false, "print progress to stderr")
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
@@ -62,6 +66,7 @@ func main() {
 		log = os.Stderr
 	}
 	r := experiments.NewRunner(*quick, log)
+	r.Jobs = *jobs
 
 	if *fig == 0 {
 		r.RunMicro(os.Stdout)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperrepro [-o EXPERIMENTS.md] [-quick]
+//	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-benchjson FILE]
 //	paperrepro [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
 //
 // With -o - the document goes to stdout. A full (class B) run simulates
@@ -12,6 +12,13 @@
 // time; -quick produces the same document from class S workloads and
 // thinned sweeps in seconds (for smoke-testing the harness, not for
 // comparisons).
+//
+// Each figure and table is an independent simulation, so the suite fans out
+// over -j worker goroutines (default: one per core) with output committed
+// in figure order — the document is byte-identical for every -j value.
+// -benchjson additionally writes a host-performance record of the run
+// (per-task wall-clock, total wall-clock, simulation events/sec; - for
+// stdout), which scripts/bench.sh folds into BENCH_parallel.json.
 //
 // The second form runs the instrumented observability demo workload
 // instead of the reproduction: -metrics writes the cross-layer metrics
@@ -22,20 +29,26 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"mpinet/internal/experiments"
 	"mpinet/internal/report"
+	"mpinet/internal/sim"
 )
 
 func main() {
 	out := flag.String("o", "-", "output file (- = stdout)")
 	quick := flag.Bool("quick", false, "class S smoke mode")
+	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently (output is identical for any value)")
+	benchOut := flag.String("benchjson", "", "also write a host-performance JSON record of the run (- = stdout)")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
 	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
@@ -51,6 +64,8 @@ func main() {
 	}
 
 	r := experiments.NewRunner(*quick, os.Stderr)
+	r.Jobs = *jobs
+	start := time.Now()
 
 	if *csvDir != "" {
 		if err := writeCSVs(r, *csvDir); err != nil {
@@ -65,13 +80,57 @@ func main() {
 
 	if *out == "-" {
 		fmt.Print(b.String())
-		return
-	}
-	if err := os.WriteFile(*out, b.Bytes(), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, b.Bytes(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
+	} else {
+		fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", *out)
 	}
-	fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", *out)
+
+	if *benchOut != "" {
+		if err := writeBenchJSON(*benchOut, r, *jobs, time.Since(start)); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is the host-performance record -benchjson emits: how fast the
+// suite ran on this machine at this -j, and how much simulation work it did.
+// Unlike the document it accompanies, its values vary run to run.
+type benchRecord struct {
+	Jobs         int             `json:"jobs"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	Events       uint64          `json:"events_dispatched"`
+	EventsPerSec float64         `json:"events_per_sec"`
+	Tasks        []benchTaskTime `json:"tasks"`
+}
+
+type benchTaskTime struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// writeBenchJSON records the run's host wall-clock profile.
+func writeBenchJSON(path string, r *experiments.Runner, jobs int, wall time.Duration) error {
+	rec := benchRecord{
+		Jobs:        jobs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WallSeconds: wall.Seconds(),
+		Events:      sim.TotalDispatched(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		rec.EventsPerSec = float64(rec.Events) / s
+	}
+	for _, t := range r.Timings() {
+		rec.Tasks = append(rec.Tasks, benchTaskTime{Name: t.Name, WallSeconds: t.Wall.Seconds()})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeOut(path, append(data, '\n'))
 }
 
 // runObserved executes the instrumented demo workload and writes the

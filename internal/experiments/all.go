@@ -11,119 +11,172 @@ import (
 	"mpinet/internal/units"
 )
 
-// RunMicro writes every micro-benchmark figure (1-13, 26, 27) to w.
+// RunMicro writes every micro-benchmark figure (1-13, 26, 27) to w, fanning
+// the figures out over r.Jobs workers with output committed in figure order.
 func (r *Runner) RunMicro(w io.Writer) {
-	for _, fig := range []func() report.Figure{
-		r.Fig1, r.Fig2, r.Fig3, r.Fig4, r.Fig5, r.Fig6, r.Fig7,
-		r.Fig8, r.Fig9, r.Fig10, r.Fig11, r.Fig12, r.Fig13,
-		r.Fig26, r.Fig27,
-	} {
-		fmt.Fprintln(w, fig().Render())
-	}
+	r.runTasks(w, []suiteTask{
+		figTask("Fig 1", r.Fig1), figTask("Fig 2", r.Fig2),
+		figTask("Fig 3", r.Fig3), figTask("Fig 4", r.Fig4),
+		figTask("Fig 5", r.Fig5), figTask("Fig 6", r.Fig6),
+		figTask("Fig 7", r.Fig7), figTask("Fig 8", r.Fig8),
+		figTask("Fig 9", r.Fig9), figTask("Fig 10", r.Fig10),
+		figTask("Fig 11", r.Fig11), figTask("Fig 12", r.Fig12),
+		figTask("Fig 13", r.Fig13), figTask("Fig 26", r.Fig26),
+		figTask("Fig 27", r.Fig27),
+	})
 }
 
 // RunApps writes every application figure and table (Figures 14-25, 28;
-// Tables 1-6) to w.
+// Tables 1-6) to w, fanning them out over r.Jobs workers. The singleflight
+// application cache keeps configurations shared between tables from running
+// twice even when the tables run concurrently.
 func (r *Runner) RunApps(w io.Writer) {
-	fmt.Fprintln(w, r.Figs14to17().Render())
-	for _, t := range []func() report.Table{r.Tab1, r.Tab2, r.Tab3, r.Tab4, r.Tab5, r.Tab6} {
-		fmt.Fprintln(w, t().Render())
+	tasks := []suiteTask{
+		tabTask("Figs 14-17", r.Figs14to17),
+		tabTask("Table 1", r.Tab1), tabTask("Table 2", r.Tab2),
+		tabTask("Table 3", r.Tab3), tabTask("Table 4", r.Tab4),
+		tabTask("Table 5", r.Tab5), tabTask("Table 6", r.Tab6),
 	}
-	for _, f := range r.Figs18to23() {
-		fmt.Fprintln(w, f.Render())
+	for _, name := range speedupApps {
+		name := name
+		tasks = append(tasks, figTask(speedupIDs[name], func() report.Figure {
+			return r.speedupFig(name)
+		}))
 	}
-	fmt.Fprintln(w, r.Fig24().Render())
-	fmt.Fprintln(w, r.Fig25().Render())
-	fmt.Fprintln(w, r.Fig28().Render())
+	tasks = append(tasks,
+		tabTask("Fig 24", r.Fig24),
+		tabTask("Fig 25", r.Fig25),
+		tabTask("Fig 28", r.Fig28),
+	)
+	r.runTasks(w, tasks)
 }
 
 // MicroComparisons measures the paper's quoted micro-benchmark anchors and
-// pairs them with the published values.
+// pairs them with the published values. Anchor groups run concurrently;
+// the returned order is fixed.
 func (r *Runner) MicroComparisons() []report.Comparison {
 	r.logf("micro anchors")
-	var comps []report.Comparison
-	add := func(name, net string, paper, sim float64, unit string) {
-		comps = append(comps, report.Comparison{
-			Name: fmt.Sprintf("%s %s", name, net), Paper: paper, Sim: sim, Unit: unit})
+	one := func(name, net string, paper, sim float64, unit string) []report.Comparison {
+		return []report.Comparison{{
+			Name: fmt.Sprintf("%s %s", name, net), Paper: paper, Sim: sim, Unit: unit}}
+	}
+	var groups []func() []report.Comparison
+	for _, p := range osu() {
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("latency 4B", p.Name, report.PaperMicro["latency_4B_us"][p.Name],
+				microbench.Latency(p, []int64{4}).Y[0], "us")
+		})
 	}
 	for _, p := range osu() {
-		add("latency 4B", p.Name, report.PaperMicro["latency_4B_us"][p.Name],
-			microbench.Latency(p, []int64{4}).Y[0], "us")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("peak bandwidth", p.Name, report.PaperMicro["peak_bw_MBs"][p.Name],
+				microbench.Bandwidth(p, []int64{512 * units.KB}, 16).Y[0], "MB/s")
+		})
 	}
 	for _, p := range osu() {
-		add("peak bandwidth", p.Name, report.PaperMicro["peak_bw_MBs"][p.Name],
-			microbench.Bandwidth(p, []int64{512 * units.KB}, 16).Y[0], "MB/s")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("host overhead", p.Name, report.PaperMicro["overhead_us"][p.Name],
+				microbench.HostOverhead(p, []int64{4}).Y[0], "us")
+		})
 	}
 	for _, p := range osu() {
-		add("host overhead", p.Name, report.PaperMicro["overhead_us"][p.Name],
-			microbench.HostOverhead(p, []int64{4}).Y[0], "us")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("bi-dir latency 4B", p.Name, report.PaperMicro["bidir_latency_us"][p.Name],
+				microbench.BiLatency(p, []int64{4}).Y[0], "us")
+		})
 	}
 	for _, p := range osu() {
-		add("bi-dir latency 4B", p.Name, report.PaperMicro["bidir_latency_us"][p.Name],
-			microbench.BiLatency(p, []int64{4}).Y[0], "us")
-	}
-	for _, p := range osu() {
-		size := int64(256 * units.KB)
-		if p.Name == "Myri" {
-			size = 64 * units.KB // the Myrinet peak sits below the SRAM collapse
-		}
-		add("bi-dir bandwidth", p.Name, report.PaperMicro["bidir_bw_MBs"][p.Name],
-			microbench.BiBandwidth(p, []int64{size}).Y[0], "MB/s")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			size := int64(256 * units.KB)
+			if p.Name == "Myri" {
+				size = 64 * units.KB // the Myrinet peak sits below the SRAM collapse
+			}
+			return one("bi-dir bandwidth", p.Name, report.PaperMicro["bidir_bw_MBs"][p.Name],
+				microbench.BiBandwidth(p, []int64{size}).Y[0], "MB/s")
+		})
 	}
 	for _, p := range []cluster.Platform{cluster.IBA(), cluster.Myri()} {
-		add("intra-node latency", p.Name, report.PaperMicro["intra_latency_us"][p.Name],
-			microbench.IntraLatency(p, []int64{4}).Y[0], "us")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("intra-node latency", p.Name, report.PaperMicro["intra_latency_us"][p.Name],
+				microbench.IntraLatency(p, []int64{4}).Y[0], "us")
+		})
 	}
 	for _, p := range osu() {
-		add("alltoall 4B 8n", p.Name, report.PaperMicro["alltoall_small_us"][p.Name],
-			microbench.Alltoall(p, 8, []int64{4}).Y[0], "us")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("alltoall 4B 8n", p.Name, report.PaperMicro["alltoall_small_us"][p.Name],
+				microbench.Alltoall(p, 8, []int64{4}).Y[0], "us")
+		})
 	}
 	for _, p := range osu() {
-		add("allreduce 4B 8n", p.Name, report.PaperMicro["allreduce_small_us"][p.Name],
-			microbench.Allreduce(p, 8, []int64{4}).Y[0], "us")
+		p := p
+		groups = append(groups, func() []report.Comparison {
+			return one("allreduce 4B 8n", p.Name, report.PaperMicro["allreduce_small_us"][p.Name],
+				microbench.Allreduce(p, 8, []int64{4}).Y[0], "us")
+		})
 	}
-	add("peak bandwidth", "IBA-PCI", report.PaperMicro["iba_pci_bw_MBs"]["IBA-PCI"],
-		microbench.Bandwidth(cluster.IBAPCI(), []int64{512 * units.KB}, 16).Y[0], "MB/s")
-	return comps
+	groups = append(groups, func() []report.Comparison {
+		return one("peak bandwidth", "IBA-PCI", report.PaperMicro["iba_pci_bw_MBs"]["IBA-PCI"],
+			microbench.Bandwidth(cluster.IBAPCI(), []int64{512 * units.KB}, 16).Y[0], "MB/s")
+	})
+	return r.gatherComparisons("micro anchors", groups)
 }
 
-// Table2Comparisons pairs simulated class B times with the paper's Table 2.
+// Table2Comparisons pairs simulated class B times with the paper's Table 2,
+// fanning the (application, network) cells out over r.Jobs workers.
 func (r *Runner) Table2Comparisons() []report.Comparison {
-	var comps []report.Comparison
+	var groups []func() []report.Comparison
 	for _, name := range []string{"IS", "CG", "MG", "LU", "FT", "S3D-50", "S3D-150"} {
 		for _, p := range osu() {
-			for i, procs := range report.Table2Procs {
-				paper := report.PaperTable2[name][p.Name][i]
-				if paper == 0 {
-					continue
+			name, p := name, p
+			groups = append(groups, func() []report.Comparison {
+				var comps []report.Comparison
+				for i, procs := range report.Table2Procs {
+					paper := report.PaperTable2[name][p.Name][i]
+					if paper == 0 {
+						continue
+					}
+					res := r.app(name, p, procs, 1)
+					comps = append(comps, report.Comparison{
+						Name:  fmt.Sprintf("%s %s %dn", name, p.Name, procs),
+						Paper: paper, Sim: res.Elapsed.Seconds(), Unit: "s",
+					})
 				}
-				res := r.app(name, p, procs, 1)
-				comps = append(comps, report.Comparison{
-					Name:  fmt.Sprintf("%s %s %dn", name, p.Name, procs),
-					Paper: paper, Sim: res.Elapsed.Seconds(), Unit: "s",
-				})
-			}
-		}
-	}
-	return comps
-}
-
-// Table1Comparisons pairs simulated per-rank size histograms with Table 1.
-func (r *Runner) Table1Comparisons() []report.Comparison {
-	var comps []report.Comparison
-	for _, name := range report.AppOrder {
-		res := r.app(name, cluster.IBA(), appProcs(name), 1)
-		h := res.PerRank.SizeHist
-		paper := report.PaperTable1[name]
-		for cls := trace.Below2K; cls < trace.NumSizeClasses; cls++ {
-			if paper[cls] == 0 && h[cls] == 0 {
-				continue
-			}
-			comps = append(comps, report.Comparison{
-				Name:  fmt.Sprintf("%s %s", name, cls),
-				Paper: float64(paper[cls]), Sim: float64(h[cls]), Unit: "calls",
+				return comps
 			})
 		}
 	}
-	return comps
+	return r.gatherComparisons("Table 2 comparisons", groups)
+}
+
+// Table1Comparisons pairs simulated per-rank size histograms with Table 1,
+// one worker task per application.
+func (r *Runner) Table1Comparisons() []report.Comparison {
+	var groups []func() []report.Comparison
+	for _, name := range report.AppOrder {
+		name := name
+		groups = append(groups, func() []report.Comparison {
+			var comps []report.Comparison
+			res := r.app(name, cluster.IBA(), appProcs(name), 1)
+			h := res.PerRank.SizeHist
+			paper := report.PaperTable1[name]
+			for cls := trace.Below2K; cls < trace.NumSizeClasses; cls++ {
+				if paper[cls] == 0 && h[cls] == 0 {
+					continue
+				}
+				comps = append(comps, report.Comparison{
+					Name:  fmt.Sprintf("%s %s", name, cls),
+					Paper: float64(paper[cls]), Sim: float64(h[cls]), Unit: "calls",
+				})
+			}
+			return comps
+		})
+	}
+	return r.gatherComparisons("Table 1 comparisons", groups)
 }

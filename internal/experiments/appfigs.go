@@ -5,6 +5,7 @@ import (
 
 	"mpinet/internal/cluster"
 	"mpinet/internal/microbench"
+	"mpinet/internal/parallel"
 	"mpinet/internal/report"
 	"mpinet/internal/trace"
 	"mpinet/internal/units"
@@ -138,35 +139,47 @@ func (r *Runner) Tab6() report.Table {
 	return t
 }
 
-// Figs18to23 regenerates Figures 18-23: application speedups on 2/4/8
-// nodes, all three networks, 2-node base.
-func (r *Runner) Figs18to23() []report.Figure {
-	r.logf("Figs 18-23: speedups")
-	var figs []report.Figure
-	ids := map[string]string{
+// speedupApps lists the applications of Figures 18-23 in figure order, and
+// speedupIDs maps each to its figure ID.
+var (
+	speedupApps = []string{"IS", "CG", "MG", "LU", "S3D-50", "S3D-150"}
+	speedupIDs  = map[string]string{
 		"IS": "Fig 18", "CG": "Fig 19", "MG": "Fig 20",
 		"LU": "Fig 21", "S3D-50": "Fig 22", "S3D-150": "Fig 23",
 	}
-	for _, name := range []string{"IS", "CG", "MG", "LU", "S3D-50", "S3D-150"} {
-		f := report.Figure{ID: ids[name], Title: "Speedup of " + name,
-			XLabel: "Nodes", YLabel: "Speedup"}
-		for _, p := range osu() {
-			var times []float64
-			for _, procs := range report.Table2Procs {
-				times = append(times, r.app(name, p, procs, 1).Elapsed.Seconds())
-			}
-			c := report.Speedup(report.Table2Procs[:], times)
-			c.Label = p.Name
-			f.Curves = append(f.Curves, c)
-		}
-		ideal := microbench.Curve{Label: "Ideal"}
+)
+
+// speedupFig regenerates one of Figures 18-23: an application's speedup on
+// 2/4/8 nodes, all three networks, 2-node base.
+func (r *Runner) speedupFig(name string) report.Figure {
+	r.logf("%s: speedup of %s", speedupIDs[name], name)
+	f := report.Figure{ID: speedupIDs[name], Title: "Speedup of " + name,
+		XLabel: "Nodes", YLabel: "Speedup"}
+	for _, p := range osu() {
+		var times []float64
 		for _, procs := range report.Table2Procs {
-			ideal.X = append(ideal.X, int64(procs))
-			ideal.Y = append(ideal.Y, float64(procs))
+			times = append(times, r.app(name, p, procs, 1).Elapsed.Seconds())
 		}
-		f.Curves = append(f.Curves, ideal)
-		figs = append(figs, f)
+		c := report.Speedup(report.Table2Procs[:], times)
+		c.Label = p.Name
+		f.Curves = append(f.Curves, c)
 	}
+	ideal := microbench.Curve{Label: "Ideal"}
+	for _, procs := range report.Table2Procs {
+		ideal.X = append(ideal.X, int64(procs))
+		ideal.Y = append(ideal.Y, float64(procs))
+	}
+	f.Curves = append(f.Curves, ideal)
+	return f
+}
+
+// Figs18to23 regenerates Figures 18-23 as a slice, fanning the six
+// applications out over r.Jobs workers.
+func (r *Runner) Figs18to23() []report.Figure {
+	figs := make([]report.Figure, len(speedupApps))
+	parallel.ForEach(r.Jobs, len(speedupApps), func(i int) {
+		figs[i] = r.speedupFig(speedupApps[i])
+	})
 	return figs
 }
 

@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"mpinet/internal/apps"
 	"mpinet/internal/cluster"
@@ -18,13 +20,38 @@ import (
 
 // Runner executes experiments, caching application runs that several
 // figures/tables share (Table 2 feeds Figures 18-23, for example).
+//
+// Every figure and table is an independent simulation — each one builds its
+// own testbed with its own sim.Engine — so the suite drivers (RunMicro,
+// RunApps, RunExtensions, the comparison builders) fan tasks out over Jobs
+// host workers through internal/parallel and commit output in submission
+// order. Output is byte-identical for every Jobs value; see
+// docs/MODEL.md §11 for the contract.
 type Runner struct {
 	// Quick shrinks sweeps and uses class S workloads — a smoke-test mode.
 	Quick bool
-	// Log, when non-nil, receives progress lines.
+	// Jobs bounds how many experiments run concurrently on host cores:
+	// 0 (the default) means one per core (GOMAXPROCS), 1 forces the serial
+	// path. Any value produces identical output.
+	Jobs int
+	// Log, when non-nil, receives progress lines. Under parallel execution
+	// lines stay whole but their order follows task completion.
 	Log io.Writer
 
-	appCache map[appKey]apps.Result
+	logMu    sync.Mutex
+	cacheMu  sync.Mutex
+	appCache map[appKey]*appEntry
+
+	timeMu  sync.Mutex
+	timings []Timing
+}
+
+// appEntry is one singleflight cache slot: the first task to need a
+// configuration runs it inside once; concurrent tasks needing the same
+// configuration block on once instead of duplicating the simulation.
+type appEntry struct {
+	once sync.Once
+	res  apps.Result
 }
 
 type appKey struct {
@@ -35,15 +62,38 @@ type appKey struct {
 	class apps.Class
 }
 
+// Timing is one suite task's host wall-clock cost (real time, not simulated
+// time) — the quantity BENCH_parallel.json tracks across -j values.
+type Timing struct {
+	Name string
+	Wall time.Duration
+}
+
 // NewRunner returns a Runner.
 func NewRunner(quick bool, log io.Writer) *Runner {
-	return &Runner{Quick: quick, Log: log, appCache: make(map[appKey]apps.Result)}
+	return &Runner{Quick: quick, Log: log, appCache: make(map[appKey]*appEntry)}
 }
 
 func (r *Runner) logf(format string, args ...interface{}) {
 	if r.Log != nil {
+		r.logMu.Lock()
 		fmt.Fprintf(r.Log, format+"\n", args...)
+		r.logMu.Unlock()
 	}
+}
+
+// Timings returns the per-task wall-clock record of every suite driver call
+// so far, in commit (output) order.
+func (r *Runner) Timings() []Timing {
+	r.timeMu.Lock()
+	defer r.timeMu.Unlock()
+	return append([]Timing(nil), r.timings...)
+}
+
+func (r *Runner) addTiming(name string, wall time.Duration) {
+	r.timeMu.Lock()
+	r.timings = append(r.timings, Timing{Name: name, Wall: wall})
+	r.timeMu.Unlock()
 }
 
 func (r *Runner) class() apps.Class {
@@ -53,23 +103,33 @@ func (r *Runner) class() apps.Class {
 	return apps.ClassB
 }
 
-// app runs (or recalls) one application configuration.
+// app runs (or recalls) one application configuration. Concurrent callers
+// needing the same configuration share one simulation: the first claims the
+// cache slot and runs, the rest block on its sync.Once. Results are pure
+// functions of the key, so which task runs a configuration never affects
+// the output.
 func (r *Runner) app(name string, p cluster.Platform, procs, ppn int) apps.Result {
 	key := appKey{app: name, net: p.Name, procs: procs, ppn: ppn, class: r.class()}
-	if res, ok := r.appCache[key]; ok {
-		return res
+	r.cacheMu.Lock()
+	e, ok := r.appCache[key]
+	if !ok {
+		e = &appEntry{}
+		r.appCache[key] = e
 	}
-	a, err := apps.ByName(name)
-	if err != nil {
-		panic(err)
-	}
-	r.logf("  running %s class %s on %s, %d procs (%d/node)", name, r.class(), p.Name, procs, maxInt(ppn, 1))
-	res, err := a.Run(apps.RunConfig{Platform: p, Class: r.class(), Procs: procs, ProcsPerNode: ppn})
-	if err != nil {
-		panic(err)
-	}
-	r.appCache[key] = res
-	return res
+	r.cacheMu.Unlock()
+	e.once.Do(func() {
+		a, err := apps.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		r.logf("  running %s class %s on %s, %d procs (%d/node)", name, r.class(), p.Name, procs, maxInt(ppn, 1))
+		res, err := a.Run(apps.RunConfig{Platform: p, Class: r.class(), Procs: procs, ProcsPerNode: ppn})
+		if err != nil {
+			panic(err)
+		}
+		e.res = res
+	})
+	return e.res
 }
 
 func maxInt(a, b int) int {

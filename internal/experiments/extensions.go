@@ -149,11 +149,13 @@ func (r *Runner) ExtFatTree() report.Table {
 }
 
 // RunExtensions writes the extension experiments (beyond the paper's
-// evaluation) to w.
+// evaluation) to w, fanning them out over r.Jobs workers.
 func (r *Runner) RunExtensions(w io.Writer) {
-	fmt.Fprintln(w, r.ExtMemory().Render())
-	fmt.Fprintln(w, r.ExtBcast().Render())
-	fmt.Fprintln(w, r.ExtLogP().Render())
-	fmt.Fprintln(w, r.ExtLowLevel().Render())
-	fmt.Fprintln(w, r.ExtFatTree().Render())
+	r.runTasks(w, []suiteTask{
+		figTask("Ext A", r.ExtMemory),
+		figTask("Ext B", r.ExtBcast),
+		tabTask("Ext C", r.ExtLogP),
+		tabTask("Ext D", r.ExtLowLevel),
+		tabTask("Ext E", r.ExtFatTree),
+	})
 }

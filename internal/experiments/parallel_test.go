@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// renderSuite runs the suite drivers at the given worker count and returns
+// the concatenated output document. In -short mode only the micro suite
+// renders (the race shard's budget); the full document comparison runs in
+// the long mode and, binary-level, in the CI determinism smoke.
+func renderSuite(t *testing.T, jobs int) string {
+	r := NewRunner(true, nil)
+	r.Jobs = jobs
+	var out bytes.Buffer
+	r.RunMicro(&out)
+	if !testing.Short() {
+		r.RunApps(&out)
+		r.RunExtensions(&out)
+	}
+	return out.String()
+}
+
+// TestSuiteByteIdenticalAcrossJobs is the tentpole contract: the quick
+// suite rendered at -j 1 and at -j 8 must be byte-identical. On any host,
+// at any worker count, which core runs a figure must be unobservable.
+func TestSuiteByteIdenticalAcrossJobs(t *testing.T) {
+	serial := renderSuite(t, 1)
+	parallel := renderSuite(t, 8)
+	if serial != parallel {
+		t.Fatal("suite output differs between -j 1 and -j 8")
+	}
+}
+
+// TestComparisonsIdenticalAcrossJobs checks the comparison builders return
+// the same slices, in the same order, at any worker count.
+func TestComparisonsIdenticalAcrossJobs(t *testing.T) {
+	serial := NewRunner(true, nil)
+	serial.Jobs = 1
+	par := NewRunner(true, nil)
+	par.Jobs = 8
+	if a, b := serial.MicroComparisons(), par.MicroComparisons(); !reflect.DeepEqual(a, b) {
+		t.Error("MicroComparisons differ between -j 1 and -j 8")
+	}
+	if a, b := serial.Table1Comparisons(), par.Table1Comparisons(); !reflect.DeepEqual(a, b) {
+		t.Error("Table1Comparisons differ between -j 1 and -j 8")
+	}
+}
+
+// TestSingleflightAppCache checks concurrent tables needing the same
+// configuration share one simulation: RunApps at -j 8 must leave exactly as
+// many cache entries as at -j 1.
+func TestSingleflightAppCache(t *testing.T) {
+	count := func(jobs int) int {
+		r := NewRunner(true, nil)
+		r.Jobs = jobs
+		var out bytes.Buffer
+		r.RunApps(&out)
+		return len(r.appCache)
+	}
+	serial, par := count(1), count(8)
+	if serial != par {
+		t.Errorf("app cache entries: %d at -j 1, %d at -j 8", serial, par)
+	}
+}
+
+// TestTimingsRecorded checks every suite task leaves a wall-clock record in
+// commit order.
+func TestTimingsRecorded(t *testing.T) {
+	r := NewRunner(true, nil)
+	r.Jobs = 4
+	var out bytes.Buffer
+	r.RunMicro(&out)
+	got := r.Timings()
+	want := []string{"Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
+		"Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Fig 26", "Fig 27"}
+	if len(got) != len(want) {
+		t.Fatalf("%d timings, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Name != w {
+			t.Errorf("timing %d is %q, want %q", i, got[i].Name, w)
+		}
+		if got[i].Wall <= 0 {
+			t.Errorf("timing %q has non-positive wall-clock %v", w, got[i].Wall)
+		}
+	}
+	snap := r.SuiteMetrics().Snapshot()
+	if v, ok := snap.Get("suite/Fig 1/wall_ns"); !ok || v <= 0 {
+		t.Errorf("suite metrics missing Fig 1 wall-clock (ok=%v v=%d)", ok, v)
+	}
+	if v, _ := snap.Get("suite/tasks"); v != int64(len(want)) {
+		t.Errorf("suite/tasks = %d, want %d", v, len(want))
+	}
+}

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCommitOrder checks the core contract: commits arrive in index order
+// for every worker count, even when early tasks finish last.
+func TestCommitOrder(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 3, 8, n, 2 * n} {
+		var got []int
+		gate := make(chan struct{}, 1)
+		MapOrdered(workers, n, func(i int) int {
+			if i == 0 && workers > 1 {
+				// Task 0 is the slowest: it waits until another task has
+				// finished, so out-of-order completion definitely happens.
+				<-gate
+			}
+			if i == n-1 || workers == 1 {
+				select {
+				case gate <- struct{}{}:
+				default:
+				}
+			}
+			return i * i
+		}, func(i, v int) {
+			if v != i*i {
+				t.Fatalf("workers=%d: commit(%d) got %d, want %d", workers, i, v, i*i)
+			}
+			got = append(got, i)
+		})
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: commit order %v", workers, got)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d commits, want %d", workers, len(got), n)
+		}
+	}
+}
+
+// TestIdenticalOutputAcrossWorkerCounts renders the same "suite" at several
+// worker counts and requires byte-identical output — the miniature of the
+// CI determinism gate.
+func TestIdenticalOutputAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		out := ""
+		MapOrdered(workers, 40, func(i int) string {
+			return fmt.Sprintf("fig %02d\n", i)
+		}, func(_ int, s string) { out += s })
+		return out
+	}
+	want := render(1)
+	for _, w := range []int{2, 4, 8, 0} {
+		if got := render(w); got != want {
+			t.Errorf("workers=%d output differs from serial", w)
+		}
+	}
+}
+
+// TestBoundedWorkers verifies no more than the requested number of tasks
+// run concurrently.
+func TestBoundedWorkers(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	var mu sync.Mutex
+	ForEach(workers, 50, func(int) {
+		c := atomic.AddInt64(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		atomic.AddInt64(&cur, -1)
+	})
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", peak, workers)
+	}
+}
+
+// TestSerialFastPathInterleaves checks workers<=1 commits each task before
+// running the next (the exact pre-parallel behaviour).
+func TestSerialFastPathInterleaves(t *testing.T) {
+	var trace []string
+	MapOrdered(1, 3, func(i int) int {
+		trace = append(trace, fmt.Sprintf("run%d", i))
+		return i
+	}, func(i, _ int) {
+		trace = append(trace, fmt.Sprintf("commit%d", i))
+	})
+	want := "run0 commit0 run1 commit1 run2 commit2"
+	got := fmt.Sprint(trace)
+	if got != "["+want+"]" {
+		t.Errorf("serial interleaving %v, want %s", trace, want)
+	}
+}
+
+// TestPanicPropagates checks a worker panic re-raises on the caller at the
+// panicking task's commit slot, with earlier commits delivered.
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var committed []int
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic", workers)
+				}
+				if r != "boom2" {
+					t.Fatalf("workers=%d: panic %v, want boom2", workers, r)
+				}
+			}()
+			MapOrdered(workers, 8, func(i int) int {
+				if i == 2 {
+					panic("boom2")
+				}
+				return i
+			}, func(i, _ int) { committed = append(committed, i) })
+		}()
+		if fmt.Sprint(committed) != "[0 1]" {
+			t.Errorf("workers=%d: committed %v before panic, want [0 1]", workers, committed)
+		}
+	}
+}
+
+// TestJobs checks the worker-count normalization.
+func TestJobs(t *testing.T) {
+	if got := Jobs(5); got != 5 {
+		t.Errorf("Jobs(5) = %d", got)
+	}
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestEmpty checks n=0 is a no-op.
+func TestEmpty(t *testing.T) {
+	MapOrdered(4, 0, func(i int) int { t.Fatal("run called"); return 0 },
+		func(int, int) { t.Fatal("commit called") })
+}

@@ -17,10 +17,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"mpinet/internal/metrics"
 	"mpinet/internal/units"
@@ -35,24 +35,72 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap ordered by (time, sequence). It is
+// hand-rolled rather than container/heap because heap.Push/Pop traffic in
+// interface{}, which boxes one event per Schedule — an allocation on the
+// hottest path of the whole simulator. push/pop below work directly on the
+// slice; the only allocations are the amortized append growths.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push adds ev and sifts it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the fn reference
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return min
+}
+
+// totalDispatched accumulates events dispatched across every engine in the
+// process — the suite-wide work measure scripts/bench.sh reports as
+// events/sec. Engines add their per-run delta once per Run, so the hot loop
+// never touches the atomic.
+var totalDispatched atomic.Uint64
+
+// TotalDispatched reports the number of events dispatched by all completed
+// (or horizon-stopped) engine runs process-wide.
+func TotalDispatched() uint64 { return totalDispatched.Load() }
 
 // Engine is a discrete-event simulator instance. It is not safe for
 // concurrent use; all model code runs on the engine's goroutine or on a
@@ -94,7 +142,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 	if len(e.events) > e.qhw {
 		e.qhw = len(e.events)
 	}
@@ -116,7 +164,11 @@ func (e *Engine) RunUntil(limit Time) error {
 		panic("sim: Run re-entered")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	startDispatched := e.dispatched
+	defer func() {
+		e.running = false
+		totalDispatched.Add(e.dispatched - startDispatched)
+	}()
 
 	horizon := false
 	for len(e.events) > 0 {
@@ -125,7 +177,7 @@ func (e *Engine) RunUntil(limit Time) error {
 			horizon = true
 			break
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		e.now = ev.at
 		e.dispatched++
 		ev.fn()

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineSchedule measures the cost of scheduling plus dispatching
+// one event — the simulator's hottest path. It guards the hand-rolled event
+// heap: container/heap's interface{} Push/Pop boxed one allocation per
+// scheduled event; the direct slice heap must stay at zero allocations per
+// event beyond amortized slice growth.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		// Interleaved deadlines exercise real sift-up/down work.
+		for i := 0; i < k; i++ {
+			e.Schedule(Time((i*7919)%97), nop)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScheduleDeep keeps a deep queue resident so every push and
+// pop pays log(depth) sifting, the worst realistic case (an 8-node alltoall
+// keeps hundreds of events queued).
+func BenchmarkEngineScheduleDeep(b *testing.B) {
+	e := New()
+	nop := func() {}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(1<<40+i), nop) // far-future ballast
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Schedule(Time((n*7919)%1024), nop)
+		if err := e.RunUntil(Time(1 << 30)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEventHeapOrdering pushes a scrambled set of deadlines and requires
+// pops in (time, seq) order — the determinism invariant the hand-rolled
+// heap must preserve exactly as container/heap did.
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	seq := uint64(0)
+	// A pattern with many ties: times cycle 0..9 while seq increases.
+	for i := 0; i < 1000; i++ {
+		seq++
+		h.push(event{at: Time(i % 10), seq: seq})
+	}
+	var lastAt Time = -1
+	var lastSeq uint64
+	for len(h) > 0 {
+		ev := h.pop()
+		if ev.at < lastAt || (ev.at == lastAt && ev.seq <= lastSeq) {
+			t.Fatalf("pop out of order: (%v, %d) after (%v, %d)", ev.at, ev.seq, lastAt, lastSeq)
+		}
+		lastAt, lastSeq = ev.at, ev.seq
+	}
+}
+
+// TestEngineScheduleZeroAlloc pins the boxing fix: steady-state
+// schedule+dispatch must not allocate (the heap slice is pre-grown by the
+// warmup round).
+func TestEngineScheduleZeroAlloc(t *testing.T) {
+	e := New()
+	nop := func() {}
+	run := func() {
+		for i := 0; i < 256; i++ {
+			e.Schedule(Time(i%13), nop)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the slice capacity
+	avg := testing.AllocsPerRun(10, run)
+	if avg > 0 {
+		t.Errorf("schedule+dispatch allocates %.1f times per 256 events, want 0", avg)
+	}
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Suite parallelism benchmark: run the quick figure suite serially (-j 1)
+# and parallel (-j N), verify the outputs are byte-identical, and emit
+# BENCH_parallel.json recording both runs' wall-clock and simulation
+# event throughput plus the speedup — the perf trajectory's first data
+# point for the experiment runner.
+#
+# Usage: bench.sh [-j N] [-o BENCH_parallel.json] [-quick|-full]
+#
+#   -j N     parallel worker count (default: host core count)
+#   -o FILE  output path (default BENCH_parallel.json in the repo root)
+#   -full    benchmark the full class B suite instead of quick mode
+#            (minutes per run; what the nightly job records)
+set -eu
+cd "$(dirname "$0")/.."
+
+jobs=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
+out=BENCH_parallel.json
+mode="-quick"
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -j)
+        shift
+        jobs="$1"
+        ;;
+    -o)
+        shift
+        out="$1"
+        ;;
+    -quick) mode="-quick" ;;
+    -full) mode="" ;;
+    *)
+        echo "usage: bench.sh [-j N] [-o FILE] [-quick|-full]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/paperrepro" ./cmd/paperrepro
+
+echo "== serial run (-j 1) ==" >&2
+"$tmp/paperrepro" $mode -j 1 -o "$tmp/doc_serial.md" -benchjson "$tmp/serial.json" 2>/dev/null
+
+echo "== parallel run (-j $jobs) ==" >&2
+"$tmp/paperrepro" $mode -j "$jobs" -o "$tmp/doc_parallel.md" -benchjson "$tmp/parallel.json" 2>/dev/null
+
+cmp "$tmp/doc_serial.md" "$tmp/doc_parallel.md" || {
+    echo "FAIL: suite output differs between -j 1 and -j $jobs" >&2
+    exit 1
+}
+
+# Pull one scalar field out of a per-run JSON (flat top-level keys).
+field() {
+    sed -n "s/^  \"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -1
+}
+serial_wall=$(field "$tmp/serial.json" wall_seconds)
+parallel_wall=$(field "$tmp/parallel.json" wall_seconds)
+speedup=$(awk "BEGIN { printf \"%.3f\", $serial_wall / $parallel_wall }")
+
+{
+    printf '{\n'
+    printf '  "host_cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+    printf '  "mode": "%s",\n' "$([ -n "$mode" ] && echo quick || echo full)"
+    printf '  "byte_identical": true,\n'
+    printf '  "speedup": %s,\n' "$speedup"
+    printf '  "serial": '
+    cat "$tmp/serial.json"
+    printf ',\n  "parallel": '
+    cat "$tmp/parallel.json"
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out (serial ${serial_wall}s, parallel ${parallel_wall}s at -j $jobs, speedup ${speedup}x)" >&2

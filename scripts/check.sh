@@ -1,33 +1,76 @@
 #!/bin/sh
-# Repo health check: static analysis, the full test suite under the race
-# detector, and an end-to-end determinism smoke test — two identical
-# instrumented runs must produce byte-identical metrics snapshots and
-# Chrome traces.
+# Repo health check: static analysis, the test suite under the race
+# detector, and the end-to-end determinism smoke — the figure document must
+# be byte-identical between -j 1 and -j N, and two identical instrumented
+# runs must produce byte-identical metrics snapshots and Chrome traces.
+#
+# Usage: check.sh [-short] [-full] [-j N]
+#
+#   -short   pass -short to go test (the CI race-shard budget: quick-mode
+#            suites only, minutes-long class B gates skipped)
+#   -full    nightly mode: the complete class B suite including the
+#            reproduction acceptance gates, with a generous timeout
+#   -j N     worker count for the determinism smoke's parallel run
+#            (default 8)
+#
+# The default (no flags) runs the full test suite with a 30m timeout; since
+# the experiment suite parallelizes across cores, this fits comfortably on
+# multi-core hosts where the old serial suite needed 60m under race.
 set -eu
 cd "$(dirname "$0")/.."
+
+short=""
+timeout=30m
+jobs=8
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -short) short="-short" ;;
+    -full) short="" timeout=60m ;;
+    -j)
+        shift
+        jobs="$1"
+        ;;
+    *)
+        echo "usage: check.sh [-short] [-full] [-j N]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
 
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race =="
-# The experiments and apps suites run minutes-long simulations; under the
-# race detector on few cores they overrun go test's default 10m per-package
-# timeout, so set one that fits the slowest package.
-go test -race -timeout 60m ./...
+echo "== go test -race $short =="
+go test -race $short -timeout "$timeout" ./...
 
 echo "== determinism smoke test =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/paperrepro" ./cmd/paperrepro
+
+# The parallel-runner contract: -j 1 and -j N render byte-identical docs.
+"$tmp/paperrepro" -quick -j 1 -o "$tmp/doc_j1.md" 2>/dev/null
+"$tmp/paperrepro" -quick -j "$jobs" -o "$tmp/doc_jN.md" 2>/dev/null
+cmp "$tmp/doc_j1.md" "$tmp/doc_jN.md" || {
+    echo "FAIL: figure document differs between -j 1 and -j $jobs" >&2
+    exit 1
+}
+echo "figure document byte-identical at -j 1 and -j $jobs"
+
+# The observability contract: identical runs, identical artifacts.
 for i in 1 2; do
-    go run ./cmd/paperrepro -obsnet Myri \
+    "$tmp/paperrepro" -obsnet Myri \
         -metrics "$tmp/snap$i.txt" -tracefile "$tmp/trace$i.json" 2>/dev/null
 done
 cmp "$tmp/snap1.txt" "$tmp/snap2.txt" || {
-    echo "FAIL: metrics snapshots differ between identical runs" >&2; exit 1;
+    echo "FAIL: metrics snapshots differ between identical runs" >&2
+    exit 1
 }
 cmp "$tmp/trace1.json" "$tmp/trace2.json" || {
-    echo "FAIL: Chrome traces differ between identical runs" >&2; exit 1;
+    echo "FAIL: Chrome traces differ between identical runs" >&2
+    exit 1
 }
-echo "byte-identical across runs"
+echo "observability artifacts byte-identical across runs"
 
 echo "OK"
