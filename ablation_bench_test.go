@@ -32,7 +32,7 @@ func BenchmarkAblationEagerThreshold(b *testing.B) {
 // switch-multicast extension across node counts.
 func BenchmarkAblationHWMulticast(b *testing.B) {
 	measure := func(p cluster.Platform, nodes int) float64 {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
 		var per sim.Time
 		if err := w.Run(func(r *mpi.Rank) {
 			buf := r.Malloc(1024)
@@ -61,7 +61,7 @@ func BenchmarkAblationHWMulticast(b *testing.B) {
 // management — the fix the paper suggests for Figure 13.
 func BenchmarkAblationOnDemandConnections(b *testing.B) {
 	measure := func(p cluster.Platform) float64 {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(8), Procs: 8})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(8), Procs: 8})
 		if err := w.Run(func(r *mpi.Rank) {
 			buf := r.Malloc(256)
 			next := (r.Rank() + 1) % r.Size()

@@ -6,6 +6,7 @@
 //
 //	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-benchjson FILE]
 //	paperrepro [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
+//	paperrepro -faults [-droprate P] [-seed N] [-faultnet IBA|Myri|QSN]
 //
 // With -o - the document goes to stdout. A full (class B) run simulates
 // several hundred cluster executions and takes a few minutes of wall-clock
@@ -25,6 +26,12 @@
 // snapshot, -tracefile writes a Chrome trace_event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev), and -obsnet picks the
 // interconnect (default IBA). Either flag can be - for stdout.
+//
+// The third form runs the fault-injection smoke instead: a seeded latency
+// probe plus LU class S under -droprate uniform packet loss (default 1%),
+// reporting injector and NIC recovery counters. Runs are deterministic in
+// -seed (0 = the committed experiment seed); the same seed always drops
+// the same packets. See docs/MODEL.md §12.
 package main
 
 import (
@@ -53,7 +60,25 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
 	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
 	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
+	faultsRun := flag.Bool("faults", false, "run the fault-injection smoke (latency probe + LU class S under -droprate) and exit")
+	dropRate := flag.Float64("droprate", 0.01, "per-packet drop probability for -faults (0 = healthy control)")
+	seed := flag.Uint64("seed", 0, "fault-plan seed for -faults (0 = the committed experiment seed)")
+	faultNet := flag.String("faultnet", "", "interconnect for -faults (IBA, Myri or QSN; empty = all three)")
 	flag.Parse()
+
+	if *faultsRun {
+		nets := []string{"IBA", "Myri", "QSN"}
+		if *faultNet != "" {
+			nets = []string{*faultNet}
+		}
+		for _, net := range nets {
+			if err := experiments.FaultSmoke(os.Stdout, net, *dropRate, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *metricsOut != "" || *traceOut != "" {
 		if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {

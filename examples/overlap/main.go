@@ -48,10 +48,13 @@ func main() {
 }
 
 func measure(p mpinet.Platform, size int64, compute mpinet.Time) mpinet.Time {
-	w := mpinet.NewWorld(mpinet.WorldConfig{Net: p.New(2), Procs: 2})
+	w, err := mpinet.NewWorld(mpinet.WorldConfig{Net: p.New(2), Procs: 2})
+	if err != nil {
+		panic(err)
+	}
 	const iters = 10
 	var per mpinet.Time
-	err := w.Run(func(r *mpinet.Rank) {
+	err = w.Run(func(r *mpinet.Rank) {
 		peer := 1 - r.Rank()
 		sbuf := r.Malloc(size)
 		rbuf := r.Malloc(size)

@@ -16,13 +16,16 @@ func main() {
 
 	// A fresh two-node testbed. Each Platform.New call wires switches,
 	// links, buses and NICs onto its own deterministic event engine.
-	world := mpinet.NewWorld(mpinet.WorldConfig{Net: platform.New(2), Procs: 2})
+	world, err := mpinet.NewWorld(mpinet.WorldConfig{Net: platform.New(2), Procs: 2})
+	if err != nil {
+		panic(err)
+	}
 
 	const iters = 100
 	const size = 4 * 1024
 
 	var rtt mpinet.Time
-	err := world.Run(func(r *mpinet.Rank) {
+	err = world.Run(func(r *mpinet.Rank) {
 		buf := r.Malloc(size)
 		peer := 1 - r.Rank()
 		// Warm up once (connection setup, registration caches).

@@ -14,11 +14,13 @@
 package apps
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"mpinet/internal/cluster"
 	"mpinet/internal/dev"
+	"mpinet/internal/metrics"
 	"mpinet/internal/mpi"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
@@ -108,6 +110,10 @@ func Registry() []*App {
 	return []*App{IS(), CG(), MG(), LU(), FT(), SP(), BT(), Sweep3D(50), Sweep3D(150)}
 }
 
+// ErrUnknownApp is the sentinel wrapped by ByName for workload names not
+// in the registry; match with errors.Is.
+var ErrUnknownApp = errors.New("unknown workload")
+
 // ByName finds a workload.
 func ByName(name string) (*App, error) {
 	for _, a := range Registry() {
@@ -120,7 +126,7 @@ func ByName(name string) (*App, error) {
 		names = append(names, a.Name)
 	}
 	sort.Strings(names)
-	return nil, fmt.Errorf("apps: unknown workload %q (have %v)", name, names)
+	return nil, fmt.Errorf("apps: %w %q (have %v)", ErrUnknownApp, name, names)
 }
 
 // RunConfig controls one execution.
@@ -128,10 +134,11 @@ type RunConfig struct {
 	Platform     cluster.Platform
 	Class        Class
 	Procs        int
-	ProcsPerNode int             // default 1; the paper's SMP runs use 2
-	Nodes        int             // default Procs/ProcsPerNode
-	Timeline     *trace.Timeline // optional message-event collection
-	Utilization  bool            // collect per-resource busy accounting
+	ProcsPerNode int               // default 1; the paper's SMP runs use 2
+	Nodes        int               // default Procs/ProcsPerNode
+	Timeline     *trace.Timeline   // optional message-event collection
+	Metrics      *metrics.Registry // optional cross-layer instrument registry
+	Utilization  bool              // collect per-resource busy accounting
 }
 
 // Run executes the workload on a freshly wired testbed and reports timing
@@ -151,11 +158,12 @@ func (a *App) Run(cfg RunConfig) (Result, error) {
 	if nodes == 0 {
 		nodes = (cfg.Procs + ppn - 1) / ppn
 	}
-	w := mpi.NewWorld(mpi.Config{
+	w := mpi.MustWorld(mpi.Config{
 		Net:          cfg.Platform.New(nodes),
 		Procs:        cfg.Procs,
 		ProcsPerNode: ppn,
 		Timeline:     cfg.Timeline,
+		Metrics:      cfg.Metrics,
 	})
 	cal := a.cal(cfg.Class)
 	err := w.Run(func(r *mpi.Rank) { a.run(r, cfg.Class, cal) })

@@ -2,6 +2,13 @@
 // reusable platform factories: the 8-node OSU cluster wired with each of the
 // three interconnects, the InfiniBand-on-PCI variant of Section 4.7, and the
 // 16-node Topspin InfiniBand cluster of Section 4.2.
+//
+// Platforms compose through functional options: a Platform value carries a
+// Settings baseline, With derives a variant (InfiniBand on plain PCI is
+// IBA().With(PCIBus())), and the same Option values also configure the MPI
+// world (WithFaults, WithTimeout, WithProcsPerNode — applied by
+// ApplyWorld). The historical one-off constructors (IBAPCI, IBAOnDemand,
+// ...) remain as thin deprecated wrappers over the options.
 package cluster
 
 import (
@@ -9,59 +16,253 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/elan"
 	"mpinet/internal/fabric"
+	"mpinet/internal/faults"
 	"mpinet/internal/gm"
+	"mpinet/internal/metrics"
 	"mpinet/internal/sim"
+	"mpinet/internal/trace"
 	"mpinet/internal/verbs"
 )
 
-// Platform is a buildable interconnect testbed. New returns a freshly wired
-// network (with its own simulation engine) of the given node count.
+// Settings is the resolved platform-side option set a network is wired
+// from. Knobs a given interconnect does not implement (PCI and on-demand
+// connections are InfiniBand-only, for example) are silently ignored by
+// the other builders, mirroring how the real libraries expose different
+// tunables.
+type Settings struct {
+	// PCI forces the 64-bit/66 MHz PCI bus instead of PCI-X (verbs only).
+	PCI bool
+	// OnDemand enables on-demand RC connection management (verbs only).
+	OnDemand bool
+	// Multicast enables hardware multicast collectives (verbs only).
+	Multicast bool
+	// AutoFatTree replaces the single crossbar with a two-level fat tree
+	// sized from the node count (verbs only).
+	AutoFatTree bool
+	// EagerThreshold overrides the implementation's eager/rendezvous switch
+	// point (0 = implementation default).
+	EagerThreshold int64
+	// SwitchPorts overrides the switch radix (0 = platform default).
+	SwitchPorts int
+	// Faults, when non-nil, is the fault-injection plan the network runs
+	// under (see internal/faults).
+	Faults *faults.Plan
+	// Seed, when non-zero, overrides the fault plan's seed — the handle
+	// the -seed CLI flag turns.
+	Seed uint64
+}
+
+// plan resolves the effective fault plan: a copy of Faults with the Seed
+// override applied, or nil when faults are off.
+func (s Settings) plan() *faults.Plan {
+	if s.Faults == nil {
+		return nil
+	}
+	p := *s.Faults
+	if s.Seed != 0 {
+		p.Seed = s.Seed
+	}
+	return &p
+}
+
+// Platform is a buildable interconnect testbed: a name, a Settings
+// baseline, and the interconnect-specific builder. Platform is a value
+// type — With and Named return derived copies, so predefined platforms are
+// never mutated.
 type Platform struct {
-	Name string
-	New  func(nodes int) dev.Network
+	Name  string
+	base  Settings
+	build func(nodes int, s Settings) dev.Network
+}
+
+// New returns a freshly wired network (with its own simulation engine) of
+// the given node count, configured per the platform's settings.
+func (p Platform) New(nodes int) dev.Network { return p.build(nodes, p.base) }
+
+// With derives a variant platform with the options' platform-side effects
+// applied. Options that carry a name suffix (PCIBus -> "-PCI") extend the
+// platform name so derived variants stay distinguishable in reports.
+func (p Platform) With(opts ...Option) Platform {
+	d := p
+	for _, o := range opts {
+		if o.platform != nil {
+			o.platform(&d.base)
+		}
+		d.Name += o.suffix
+	}
+	return d
+}
+
+// Named returns a copy of the platform under a different report name.
+func (p Platform) Named(name string) Platform {
+	p.Name = name
+	return p
+}
+
+// Settings exposes the resolved baseline (for tests and diagnostics).
+func (p Platform) Settings() Settings { return p.base }
+
+// WorldSetter is the slice of the MPI world configuration an Option may
+// adjust; *mpi.Config implements it. It is an interface rather than the
+// concrete type so this package does not import mpi (whose own tests build
+// platforms from here).
+type WorldSetter interface {
+	SetProcsPerNode(int)
+	SetMapping(int)
+	SetTimeline(*trace.Timeline)
+	SetMetrics(*metrics.Registry)
+	SetTimeout(sim.Time)
+}
+
+// Option is one functional option. A single option may act on the platform
+// (network wiring), on the MPI world configuration, or both — WithFaults,
+// for instance, installs the plan into the network and arms the world's
+// watchdog.
+type Option struct {
+	suffix   string
+	platform func(*Settings)
+	world    func(WorldSetter)
+}
+
+// ApplyWorld applies the world-side effect of each option to cfg.
+// Platform-only options are no-ops here, so callers can pass one option
+// list to both Platform.With and ApplyWorld.
+func ApplyWorld(cfg WorldSetter, opts ...Option) {
+	for _, o := range opts {
+		if o.world != nil {
+			o.world(cfg)
+		}
+	}
+}
+
+// PCIBus forces the plain 64-bit/66 MHz PCI bus of the Figure 26–28
+// comparison (verbs only).
+func PCIBus() Option {
+	return Option{suffix: "-PCI", platform: func(s *Settings) { s.PCI = true }}
+}
+
+// OnDemand enables on-demand RC connection management (Section 3.8).
+func OnDemand() Option {
+	return Option{suffix: "-OD", platform: func(s *Settings) { s.OnDemand = true }}
+}
+
+// Multicast enables the hardware-collective extension (Section 3.7).
+func Multicast() Option {
+	return Option{suffix: "-MC", platform: func(s *Settings) { s.Multicast = true }}
+}
+
+// FatTree replaces the single crossbar with a two-level fat tree sized
+// from the node count: 16 hosts and 8 up-links per 24-port leaf, 2:1
+// oversubscribed.
+func FatTree() Option {
+	return Option{suffix: "-FT", platform: func(s *Settings) { s.AutoFatTree = true }}
+}
+
+// EagerThreshold overrides the eager/rendezvous protocol switch point —
+// the ablation knob behind the Figure 2 protocol-dip study.
+func EagerThreshold(threshold int64) Option {
+	return Option{suffix: "-ET", platform: func(s *Settings) { s.EagerThreshold = threshold }}
+}
+
+// SwitchPorts overrides the switch radix (no name suffix: radix variants
+// name themselves, as Topspin does).
+func SwitchPorts(ports int) Option {
+	return Option{platform: func(s *Settings) { s.SwitchPorts = ports }}
+}
+
+// WithFaults runs the platform under the given fault plan and arms the MPI
+// watchdog (at faults.DefaultTimeout unless WithTimeout overrides it), so
+// a faulty run terminates with a typed error instead of hanging.
+func WithFaults(plan *faults.Plan) Option {
+	return Option{platform: func(s *Settings) { s.Faults = plan }}
+}
+
+// WithSeed overrides the fault plan's seed; without a plan it is inert.
+func WithSeed(seed uint64) Option {
+	return Option{platform: func(s *Settings) { s.Seed = seed }}
+}
+
+// WithProcsPerNode sets how many ranks share a node (the paper's SMP
+// configuration).
+func WithProcsPerNode(n int) Option {
+	return Option{world: func(c WorldSetter) { c.SetProcsPerNode(n) }}
+}
+
+// WithMapping sets the rank-to-node placement (an mpi.Mapping value).
+func WithMapping(m int) Option {
+	return Option{world: func(c WorldSetter) { c.SetMapping(m) }}
+}
+
+// WithTimeline collects message-level events from the run.
+func WithTimeline(tl *trace.Timeline) Option {
+	return Option{world: func(c WorldSetter) { c.SetTimeline(tl) }}
+}
+
+// WithMetrics wires every layer into the registry.
+func WithMetrics(m *metrics.Registry) Option {
+	return Option{world: func(c WorldSetter) { c.SetMetrics(m) }}
+}
+
+// WithTimeout sets the per-wait MPI watchdog explicitly (negative
+// disables it even under a fault plan).
+func WithTimeout(d sim.Time) Option {
+	return Option{world: func(c WorldSetter) { c.SetTimeout(d) }}
+}
+
+// buildIBA wires the InfiniBand testbed from settings.
+func buildIBA(nodes int, s Settings) dev.Network {
+	cfg := verbs.DefaultConfig(nodes)
+	if s.PCI {
+		cfg.Bus = bus.PCI64x66
+	}
+	cfg.OnDemandConnections = s.OnDemand
+	cfg.HWMulticast = s.Multicast
+	cfg.EagerThreshold = s.EagerThreshold
+	if s.SwitchPorts > 0 {
+		cfg.SwitchPorts = s.SwitchPorts
+	}
+	if s.AutoFatTree {
+		leaves := (nodes + 15) / 16
+		if leaves < 2 {
+			leaves = 2
+		}
+		cfg.FatTree = &fabric.FatTreeConfig{HostsPerLeaf: 16, Leaves: leaves, Spines: 8}
+	}
+	cfg.Faults = s.plan()
+	return verbs.New(sim.New(), cfg)
+}
+
+// buildMyri wires the Myrinet testbed from settings.
+func buildMyri(nodes int, s Settings) dev.Network {
+	cfg := gm.DefaultConfig(nodes)
+	cfg.EagerThreshold = s.EagerThreshold
+	if s.SwitchPorts > 0 {
+		cfg.SwitchPorts = s.SwitchPorts
+	}
+	cfg.Faults = s.plan()
+	return gm.New(sim.New(), cfg)
+}
+
+// buildQSN wires the Quadrics testbed from settings.
+func buildQSN(nodes int, s Settings) dev.Network {
+	cfg := elan.DefaultConfig(nodes)
+	cfg.EagerThreshold = s.EagerThreshold
+	if s.SwitchPorts > 0 {
+		cfg.SwitchPorts = s.SwitchPorts
+	}
+	cfg.Faults = s.plan()
+	return elan.New(sim.New(), cfg)
 }
 
 // IBA is InfiniBand on PCI-X with the 8-port InfiniScale switch (the
 // paper's primary InfiniBand platform).
-func IBA() Platform {
-	return Platform{Name: "IBA", New: func(nodes int) dev.Network {
-		return verbs.New(sim.New(), verbs.DefaultConfig(nodes))
-	}}
-}
-
-// IBAPCI is the same InfiniBand platform forced onto a 64-bit/66 MHz PCI
-// bus (Figures 26–28).
-func IBAPCI() Platform {
-	return Platform{Name: "IBA-PCI", New: func(nodes int) dev.Network {
-		cfg := verbs.DefaultConfig(nodes)
-		cfg.Bus = bus.PCI64x66
-		return verbs.New(sim.New(), cfg)
-	}}
-}
-
-// Topspin is the 16-node Topspin InfiniBand cluster with the 24-port
-// Topspin 360 switch (Figure 24).
-func Topspin() Platform {
-	return Platform{Name: "IBA-Topspin", New: func(nodes int) dev.Network {
-		cfg := verbs.DefaultConfig(nodes)
-		cfg.SwitchPorts = 24
-		return verbs.New(sim.New(), cfg)
-	}}
-}
+func IBA() Platform { return Platform{Name: "IBA", build: buildIBA} }
 
 // Myri is Myrinet-2000 with GM.
-func Myri() Platform {
-	return Platform{Name: "Myri", New: func(nodes int) dev.Network {
-		return gm.New(sim.New(), gm.DefaultConfig(nodes))
-	}}
-}
+func Myri() Platform { return Platform{Name: "Myri", build: buildMyri} }
 
 // QSN is the Quadrics QsNet (Elan3 + Elite-16).
-func QSN() Platform {
-	return Platform{Name: "QSN", New: func(nodes int) dev.Network {
-		return elan.New(sim.New(), elan.DefaultConfig(nodes))
-	}}
-}
+func QSN() Platform { return Platform{Name: "QSN", build: buildQSN} }
 
 // OSU returns the three interconnects of the 8-node OSU testbed, in the
 // paper's ordering.
@@ -69,54 +270,43 @@ func OSU() []Platform {
 	return []Platform{IBA(), Myri(), QSN()}
 }
 
+// IBAPCI is the same InfiniBand platform forced onto a 64-bit/66 MHz PCI
+// bus (Figures 26–28).
+//
+// Deprecated: use IBA().With(PCIBus()).
+func IBAPCI() Platform { return IBA().With(PCIBus()) }
+
+// Topspin is the 16-node Topspin InfiniBand cluster with the 24-port
+// Topspin 360 switch (Figure 24).
+//
+// Deprecated: use IBA().With(SwitchPorts(24)).Named("IBA-Topspin").
+func Topspin() Platform { return IBA().With(SwitchPorts(24)).Named("IBA-Topspin") }
+
 // IBAOnDemand is InfiniBand with the on-demand connection-management
 // extension the paper's memory-usage discussion points to (Section 3.8):
 // Reliable Connections are established on first contact, so per-connection
 // memory tracks peers actually spoken to.
-func IBAOnDemand() Platform {
-	return Platform{Name: "IBA-OD", New: func(nodes int) dev.Network {
-		cfg := verbs.DefaultConfig(nodes)
-		cfg.OnDemandConnections = true
-		return verbs.New(sim.New(), cfg)
-	}}
-}
+//
+// Deprecated: use IBA().With(OnDemand()).
+func IBAOnDemand() Platform { return IBA().With(OnDemand()) }
 
 // IBAMulticast is InfiniBand with the hardware-supported collective
 // extension of Section 3.7: broadcasts ride switch multicast.
-func IBAMulticast() Platform {
-	return Platform{Name: "IBA-MC", New: func(nodes int) dev.Network {
-		cfg := verbs.DefaultConfig(nodes)
-		cfg.HWMulticast = true
-		return verbs.New(sim.New(), cfg)
-	}}
-}
+//
+// Deprecated: use IBA().With(Multicast()).
+func IBAMulticast() Platform { return IBA().With(Multicast()) }
 
 // IBAFatTree is InfiniBand on a two-level fat tree built from 24-port
 // elements (16 hosts and 8 up-links per leaf): the scaling extension for
 // clusters larger than one switch. It grows to 16*leaves hosts with 2:1
-// oversubscription.
-func IBAFatTree(nodes int) Platform {
-	return Platform{Name: "IBA-FT", New: func(n int) dev.Network {
-		leaves := (n + 15) / 16
-		if leaves < 2 {
-			leaves = 2
-		}
-		cfg := verbs.DefaultConfig(n)
-		cfg.FatTree = &fabric.FatTreeConfig{
-			HostsPerLeaf: 16,
-			Leaves:       leaves,
-			Spines:       8,
-		}
-		return verbs.New(sim.New(), cfg)
-	}}
-}
+// oversubscription. The argument is ignored (the tree is sized from the
+// node count passed to New); it is kept for call compatibility.
+//
+// Deprecated: use IBA().With(FatTree()).
+func IBAFatTree(int) Platform { return IBA().With(FatTree()) }
 
 // IBAEagerThreshold is InfiniBand with an overridden eager/rendezvous
 // switch point — the ablation knob behind the Figure 2 protocol-dip study.
-func IBAEagerThreshold(threshold int64) Platform {
-	return Platform{Name: "IBA-ET", New: func(nodes int) dev.Network {
-		cfg := verbs.DefaultConfig(nodes)
-		cfg.EagerThreshold = threshold
-		return verbs.New(sim.New(), cfg)
-	}}
-}
+//
+// Deprecated: use IBA().With(EagerThreshold(t)).
+func IBAEagerThreshold(threshold int64) Platform { return IBA().With(EagerThreshold(threshold)) }

@@ -21,6 +21,7 @@
 package dev
 
 import (
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/sim"
 )
@@ -145,4 +146,21 @@ type Network interface {
 	// if it returns 0) loop back through the NIC. MVAPICH returns 16 KB,
 	// MPICH-GM effectively infinity, Quadrics MPI 0.
 	ShmemBelow() int64
+}
+
+// FaultPlanner is implemented by networks wired with a fault-injection
+// plan (see internal/faults). The MPI layer uses it to auto-arm its
+// per-wait watchdog: a run on a faulty network must end in a typed error,
+// never a silent hang. A nil plan means faults are off.
+type FaultPlanner interface {
+	FaultPlan() *faults.Plan
+}
+
+// FaultReporter is implemented by endpoints that can fail permanently
+// (retry exhaustion under a fault plan). OnFault registers the sink those
+// failures are delivered to, replacing any previous sink; the MPI layer
+// installs one per rank so errors arrive attributed to the rank that
+// issued the operation. An endpoint with no fault plan never calls it.
+type FaultReporter interface {
+	OnFault(sink func(err error))
 }

@@ -29,6 +29,7 @@ import (
 	"mpinet/internal/bus"
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
@@ -43,6 +44,9 @@ type Config struct {
 	// EagerThreshold overrides Tports' default 16 KB large-message switch
 	// point (0 = default); an ablation knob.
 	EagerThreshold int64
+	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
+	// enables the Elan source-retry machinery below.
+	Faults *faults.Plan
 }
 
 // DefaultConfig is the paper's 8-node testbed.
@@ -102,6 +106,12 @@ const (
 	loopbackPenalty = 2500 * units.Nanosecond
 )
 
+// elanRetry is Elan source retry: the wormhole fabric reports a failed
+// route to the source NIC almost immediately, and the thread processor
+// re-issues the packet from its own SDRAM many times at a short fixed
+// interval before raising a network error to the library.
+var elanRetry = faults.RetryPolicy{Limit: 31, Interval: 30 * units.Microsecond}
+
 // Network is a wired Quadrics cluster.
 type Network struct {
 	eng   *sim.Engine
@@ -109,6 +119,7 @@ type Network struct {
 	sw    *fabric.Switch
 	nodes []*nodeHW
 	met   *metrics.Registry
+	inj   *faults.Injector
 }
 
 type nodeHW struct {
@@ -133,6 +144,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	n := &Network{
 		eng: eng,
 		cfg: cfg,
+		inj: faults.NewInjector(cfg.Faults),
 		sw: fabric.NewSwitch("elite16", fabric.SwitchConfig{
 			Ports:    cfg.SwitchPorts,
 			Crossing: switchCrossing,
@@ -169,6 +181,9 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // intra-node traffic through the NIC at every size.
 func (n *Network) ShmemBelow() int64 { return 0 }
 
+// FaultPlan implements dev.FaultPlanner (nil when faults are off).
+func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
 // ShmemConfig returns intra-node channel parameters (unused in practice
 // since ShmemBelow is 0, but required for interface completeness).
 func (n *Network) ShmemConfig() shmem.Config { return shmem.DefaultConfig() }
@@ -199,6 +214,7 @@ func (n *Network) InstrumentMetrics(m *metrics.Registry) {
 	// As in the other devices, the Elite crossbar's output contention rides
 	// the destination down-link, so its port pipes carry no traffic and are
 	// left unregistered.
+	n.inj.Instrument(m)
 }
 
 // Utilizations implements dev.UtilizationReporter.
@@ -233,6 +249,8 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 	ep.nic = dev.NewNICCounters(n.met, node)
 	ep.cmdqStalls = n.met.Counter(metrics.NodePrefix(node) + "nic/cmdq_stalls")
 	ep.matches = n.met.Counter(metrics.NodePrefix(node) + "nic/matches")
+	ep.retries = n.met.Counter(metrics.NodePrefix(node) + "nic/retries")
+	ep.retryErrors = n.met.Counter(metrics.NodePrefix(node) + "nic/retry_exhausted")
 	dev.InstrumentPinCache(n.met, node, ep.mmu)
 	return ep
 }
@@ -246,10 +264,29 @@ type endpoint struct {
 	// command-queue model.
 	outstanding int
 
+	// sink receives permanent transfer failures (dev.FaultReporter).
+	sink func(error)
+
 	// metric handles (nil-safe no-ops when instrumentation is off)
-	nic        dev.NICCounters
-	cmdqStalls *metrics.Counter
-	matches    *metrics.Counter
+	nic         dev.NICCounters
+	cmdqStalls  *metrics.Counter
+	matches     *metrics.Counter
+	retries     *metrics.Counter
+	retryErrors *metrics.Counter
+}
+
+// OnFault implements dev.FaultReporter.
+func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// fail reports a permanent transfer failure to the registered sink, or
+// raises it directly when the device is used without the MPI layer.
+func (ep *endpoint) fail(err error) {
+	ep.retryErrors.Inc()
+	if ep.sink != nil {
+		ep.sink(err)
+		return
+	}
+	panic(err)
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -369,11 +406,48 @@ func (ep *endpoint) path(dst int, size int64) []fabric.PathStage {
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	eng := ep.net.eng
 	ep.outstanding++
-	fabric.Transfer(eng, ep.path(dst, size), size, fabric.ChunkFor(size), eng.Now(),
-		func(end sim.Time) {
-			ep.outstanding--
-			deliver()
-		})
+	inj := ep.net.inj
+	if inj == nil || dst == ep.node {
+		fabric.Transfer(eng, ep.path(dst, size), size, fabric.ChunkFor(size), eng.Now(),
+			func(end sim.Time) {
+				ep.outstanding--
+				deliver()
+			})
+		return
+	}
+	start := eng.Now() + inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
+	// Elan source retry: the wormhole fabric bounces a failed route back
+	// to the source, whose thread processor re-issues the packet from NIC
+	// SDRAM after a short fixed interval — many cheap retries rather than
+	// the host-visible timeouts of the other two interconnects. The
+	// command-queue slot stays occupied for the whole retry chain.
+	attempt := 1
+	var try func(at sim.Time)
+	try = func(at sim.Time) {
+		fabric.Transfer(eng, ep.path(dst, size), size, fabric.ChunkFor(size), at,
+			func(end sim.Time) {
+				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
+					ep.outstanding--
+					deliver()
+					return
+				}
+				if attempt > elanRetry.Limit {
+					ep.outstanding--
+					ep.fail(&faults.LinkError{Src: ep.node, Dst: dst,
+						Attempts: attempt, Bytes: size, Proto: "Elan source retry"})
+					return
+				}
+				delay := elanRetry.Delay(attempt)
+				attempt++
+				ep.retries.Inc()
+				eng.At(end+delay, func() {
+					hw := ep.net.nodes[ep.node]
+					hw.elanProc.Use(eng.Now(), elanPerMsg)
+					try(eng.Now())
+				})
+			})
+	}
+	try(start)
 }
 
 // Eager implements dev.Endpoint (Tports queued send).

@@ -75,12 +75,12 @@ func TestQuickExtensionSuite(t *testing.T) {
 	r := NewRunner(true, nil)
 	r.RunExtensions(&out)
 	s := out.String()
-	for _, id := range []string{"Ext A", "Ext B", "Ext C", "Ext D", "Ext E"} {
+	for _, id := range []string{"Ext A", "Ext B", "Ext C", "Ext D", "Ext E", "Ext F"} {
 		if !strings.Contains(s, id+":") {
 			t.Errorf("extension suite output missing %s", id)
 		}
 	}
-	for _, want := range []string{"IBA-OD", "multicast", "LogGP", "raw lat", "32"} {
+	for _, want := range []string{"IBA-OD", "multicast", "LogGP", "raw lat", "32", "drop=1%"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("extension suite output missing %q", want)
 		}

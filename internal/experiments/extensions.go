@@ -27,7 +27,7 @@ func (r *Runner) ExtMemory() report.Figure {
 	for _, p := range []cluster.Platform{cluster.IBA(), cluster.IBAOnDemand()} {
 		c := microbench.Curve{Label: p.Name}
 		for _, n := range counts {
-			w := mpi.NewWorld(mpi.Config{Net: p.New(n), Procs: n})
+			w := mpi.MustWorld(mpi.Config{Net: p.New(n), Procs: n})
 			if err := w.Run(func(rk *mpi.Rank) {
 				buf := rk.Malloc(256)
 				next := (rk.Rank() + 1) % rk.Size()
@@ -69,7 +69,7 @@ func (r *Runner) ExtBcast() report.Figure {
 }
 
 func bcastTime(p cluster.Platform, nodes int) sim.Time {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
 	var worst sim.Time
 	if err := w.Run(func(rk *mpi.Rank) {
 		buf := rk.Malloc(1024)
@@ -157,5 +157,6 @@ func (r *Runner) RunExtensions(w io.Writer) {
 		tabTask("Ext C", r.ExtLogP),
 		tabTask("Ext D", r.ExtLowLevel),
 		tabTask("Ext E", r.ExtFatTree),
+		figTask("Ext F", r.ExtFaults),
 	})
 }

@@ -45,7 +45,7 @@ const (
 // Everything downstream — snapshot rendering, Chrome-trace export, the
 // acceptance tests — reads the returned world.
 func Observe(p cluster.Platform) (*mpi.World, error) {
-	w := mpi.NewWorld(mpi.Config{
+	w := mpi.MustWorld(mpi.Config{
 		Net:          p.New(observeNodes),
 		Procs:        observeNodes * observePPN,
 		ProcsPerNode: observePPN,

@@ -50,7 +50,7 @@ func TestObserveNeutral(t *testing.T) {
 	for _, p := range cluster.OSU() {
 		instrumented := runObserve(t, p).Elapsed()
 
-		bare := mpi.NewWorld(mpi.Config{
+		bare := mpi.MustWorld(mpi.Config{
 			Net:          p.New(observeNodes),
 			Procs:        observeNodes * observePPN,
 			ProcsPerNode: observePPN,

@@ -1,0 +1,300 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven Plan describing link drop/corruption probabilities, link
+// flaps, NIC stall windows and bus contention bursts, plus the Injector the
+// NIC models (internal/verbs, internal/gm, internal/elan) consult on every
+// inter-node packet.
+//
+// Determinism is the load-bearing property. The paper-reproduction suite
+// promises byte-identical output at any -j (MODEL.md §11), so fault
+// decisions must not depend on event interleaving, map iteration, or how
+// many worker goroutines are running. Every random draw therefore comes
+// from a counter-based PRNG keyed by (plan seed, link, per-link packet
+// ordinal): packet k on link src->dst gets the same verdict in every run
+// with the same seed, no matter what else the simulation is doing.
+//
+// Recovery is the device's job, not this package's: the Injector only
+// renders verdicts (deliver / drop / corrupt) and window delays; each NIC
+// model implements its interconnect's reliability protocol (VAPI RC
+// retransmit, GM send-token resend, Elan source retry) as a RetryPolicy
+// around its transfer path and reports permanent failures as a *LinkError
+// wrapping ErrRetryExhausted.
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"mpinet/internal/metrics"
+	"mpinet/internal/units"
+)
+
+// ErrRetryExhausted is the sentinel wrapped by every permanent transfer
+// failure: a device retried per its reliability protocol and gave up.
+// Match with errors.Is.
+var ErrRetryExhausted = errors.New("retry exhausted")
+
+// DefaultTimeout is the per-wait MPI watchdog armed automatically when a
+// world runs on a network with a fault plan. It is far above every
+// device's worst-case retry budget (the longest, the verbs exponential
+// backoff, exhausts in ~19 ms), so retry-exhaustion errors always win the
+// race against the watchdog and the watchdog only fires for waits that no
+// retransmit will ever satisfy.
+const DefaultTimeout = 500 * units.Millisecond
+
+// Wildcard matches any node in a LinkRule or Flap endpoint.
+const Wildcard = -1
+
+// Plan is a complete, declarative fault scenario. The zero value (beyond
+// Seed) injects nothing but still arms the MPI watchdog, turning would-be
+// deadlocks into typed timeout errors. Plans are plain data: copy, store
+// or share them freely; the Injector keeps its own mutable state.
+type Plan struct {
+	// Seed keys every random draw. Two runs with equal plans produce
+	// identical fault sequences; change the seed to sample a new scenario.
+	Seed uint64
+	// Drop is the baseline per-packet drop probability on every inter-node
+	// link (loopback traffic never faults).
+	Drop float64
+	// Corrupt is the baseline per-packet corruption probability. A
+	// corrupted packet arrives, fails its CRC and is retransmitted — same
+	// recovery path as a drop, separate counter.
+	Corrupt float64
+	// Links overrides the baseline rates on matching links (first match
+	// wins).
+	Links []LinkRule
+	// Flaps takes links hard down for time windows.
+	Flaps []Flap
+	// Stalls freezes a node's NIC for time windows.
+	Stalls []Stall
+	// Bursts adds bus-contention delay per operation on a node for time
+	// windows.
+	Bursts []BusBurst
+}
+
+// LinkRule replaces the plan's baseline drop/corrupt rates on matching
+// links. Src/Dst may be Wildcard.
+type LinkRule struct {
+	Src, Dst int
+	Drop     float64
+	Corrupt  float64
+}
+
+// Flap is a link-down window: every packet on a matching link in
+// [From, Until) is dropped, as if the cable were pulled and re-seated.
+// Src/Dst may be Wildcard.
+type Flap struct {
+	Src, Dst    int
+	From, Until units.Time
+}
+
+// Stall freezes a node's NIC: operations started in [From, Until) wait for
+// the window to end before touching the wire (firmware hiccup, PCI retrain).
+type Stall struct {
+	Node        int
+	From, Until units.Time
+}
+
+// BusBurst models host-bus contention: every operation a node starts in
+// [From, Until) pays Delay extra before injection.
+type BusBurst struct {
+	Node        int
+	From, Until units.Time
+	Delay       units.Time
+}
+
+// DropPlan is the common scenario shorthand: a uniform per-packet drop
+// probability on every link under the given seed.
+func DropPlan(seed uint64, drop float64) *Plan {
+	return &Plan{Seed: seed, Drop: drop}
+}
+
+// Verdict is the Injector's per-packet decision.
+type Verdict int
+
+const (
+	// Deliver passes the packet through intact.
+	Deliver Verdict = iota
+	// Drop loses the packet in the fabric; the receiver sees nothing.
+	Drop
+	// Corrupt delivers a damaged packet; the receiver's CRC rejects it.
+	Corrupt
+)
+
+// RetryPolicy describes one interconnect's reliability protocol: how many
+// resends it attempts and how it spaces them. Devices hold one as a
+// package constant and drive their retransmit loop with it.
+type RetryPolicy struct {
+	// Limit is the number of retransmits after the first attempt; the
+	// attempt numbered Limit+1 failing is a permanent error.
+	Limit int
+	// Interval is the base retransmit timeout.
+	Interval units.Time
+	// Exponential doubles the interval on every consecutive retry (VAPI RC
+	// behaviour); capped at 64x so a long retry chain cannot out-wait the
+	// MPI watchdog.
+	Exponential bool
+}
+
+// Delay returns the wait before retransmit number attempt (1-based).
+func (p RetryPolicy) Delay(attempt int) units.Time {
+	if !p.Exponential || attempt <= 1 {
+		return p.Interval
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	return p.Interval << uint(shift)
+}
+
+// LinkError is a permanent transfer failure: one link exhausted a device's
+// retry budget. It wraps ErrRetryExhausted; the MPI layer prepends the
+// failing rank.
+type LinkError struct {
+	Src, Dst int    // node indices of the failing link
+	Attempts int    // transfer attempts made, including the first
+	Bytes    int64  // packet size
+	Proto    string // the reliability protocol that gave up
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("link node%d->node%d: %s gave up after %d attempts (%d-byte packet): %v",
+		e.Src, e.Dst, e.Proto, e.Attempts, e.Bytes, ErrRetryExhausted)
+}
+
+// Unwrap makes errors.Is(err, ErrRetryExhausted) hold.
+func (e *LinkError) Unwrap() error { return ErrRetryExhausted }
+
+// Injector renders a Plan's verdicts for one network instance. Not safe
+// for concurrent use — like everything else owned by a sim.Engine, it runs
+// on the engine's goroutine. A nil *Injector is inert (Plan returns nil);
+// devices built without a plan carry a nil injector and skip the fault
+// path entirely.
+type Injector struct {
+	plan Plan
+	// count is the per-link packet ordinal driving the counter PRNG. The
+	// map is only ever indexed, never iterated, so it cannot perturb
+	// determinism.
+	count map[[2]int]uint64
+
+	// counters (nil-safe until Instrument binds them)
+	packets   *metrics.Counter
+	drops     *metrics.Counter
+	corrupts  *metrics.Counter
+	flapDrops *metrics.Counter
+}
+
+// NewInjector builds the injector for a plan; nil plan gives a nil (inert)
+// injector.
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{plan: *p, count: make(map[[2]int]uint64)}
+}
+
+// Plan returns the plan the injector renders, or nil on a nil injector.
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return &in.plan
+}
+
+// Instrument binds the injector's counters under faults/... in m.
+func (in *Injector) Instrument(m *metrics.Registry) {
+	if in == nil || m == nil {
+		return
+	}
+	in.packets = m.Counter("faults/packets")
+	in.drops = m.Counter("faults/drops")
+	in.corrupts = m.Counter("faults/corrupts")
+	in.flapDrops = m.Counter("faults/flap_drops")
+}
+
+// Verdict decides the fate of the next packet on link src->dst at the
+// simulated instant now. Each call consumes one per-link draw, so callers
+// must invoke it exactly once per transfer attempt.
+func (in *Injector) Verdict(src, dst int, now units.Time) Verdict {
+	in.packets.Inc()
+	for _, f := range in.plan.Flaps {
+		if matches(f.Src, src) && matches(f.Dst, dst) && now >= f.From && now < f.Until {
+			in.flapDrops.Inc()
+			return Drop
+		}
+	}
+	drop, corrupt := in.plan.Drop, in.plan.Corrupt
+	for _, r := range in.plan.Links {
+		if matches(r.Src, src) && matches(r.Dst, dst) {
+			drop, corrupt = r.Drop, r.Corrupt
+			break
+		}
+	}
+	if drop <= 0 && corrupt <= 0 {
+		return Deliver
+	}
+	key := [2]int{src, dst}
+	n := in.count[key]
+	in.count[key] = n + 1
+	u := prn(in.plan.Seed, linkStream(src, dst), n)
+	switch {
+	case u < drop:
+		in.drops.Inc()
+		return Drop
+	case u < drop+corrupt:
+		in.corrupts.Inc()
+		return Corrupt
+	default:
+		return Deliver
+	}
+}
+
+// NICStall returns how long an operation started on node at now must wait
+// for a stall window to clear (0 when none is active).
+func (in *Injector) NICStall(node int, now units.Time) units.Time {
+	var d units.Time
+	for _, s := range in.plan.Stalls {
+		if s.Node == node && now >= s.From && now < s.Until {
+			if wait := s.Until - now; wait > d {
+				d = wait
+			}
+		}
+	}
+	return d
+}
+
+// BusDelay returns the extra bus-contention delay for an operation started
+// on node at now (0 outside every burst window).
+func (in *Injector) BusDelay(node int, now units.Time) units.Time {
+	var d units.Time
+	for _, b := range in.plan.Bursts {
+		if b.Node == node && now >= b.From && now < b.Until {
+			d += b.Delay
+		}
+	}
+	return d
+}
+
+// matches is rule-endpoint matching with Wildcard.
+func matches(pattern, node int) bool { return pattern == Wildcard || pattern == node }
+
+// linkStream packs a directed link into a PRNG stream id. Node counts are
+// far below 2^20, so streams never collide.
+func linkStream(src, dst int) uint64 {
+	return uint64(uint32(src))<<20 | uint64(uint32(dst))
+}
+
+// prn is the counter-based PRNG: a splitmix64-style finalizer over
+// (seed, stream, counter), returning a uniform float64 in [0, 1). Being a
+// pure function of its inputs is what makes fault runs replayable and
+// independent of scheduling: there is no generator state to share or race
+// on.
+func prn(seed, stream, counter uint64) float64 {
+	x := seed + 0x9E3779B97F4A7C15*(stream+1) + 0xD1B54A32D192ED03*(counter+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

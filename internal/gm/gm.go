@@ -28,6 +28,7 @@ import (
 	"mpinet/internal/bus"
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
@@ -42,6 +43,9 @@ type Config struct {
 	// EagerThreshold overrides MPICH-GM's default 16 KB rendezvous switch
 	// point (0 = default); an ablation knob.
 	EagerThreshold int64
+	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
+	// enables the GM send-token resend machinery below.
+	Faults *faults.Plan
 }
 
 // DefaultConfig is the paper's 8-node testbed.
@@ -93,6 +97,12 @@ const (
 	memFlat = 22 * units.MB
 )
 
+// gmRetry is GM's send-token reliability: a sent token is only returned by
+// the peer's ACK; when the ACK timeout lapses the LANai resends at a fixed
+// interval, and after the resend budget it marks the connection dead and
+// completes the send with GM_SEND_TIMED_OUT.
+var gmRetry = faults.RetryPolicy{Limit: 15, Interval: 200 * units.Microsecond}
+
 // Network is a wired Myrinet cluster.
 type Network struct {
 	eng   *sim.Engine
@@ -100,6 +110,7 @@ type Network struct {
 	sw    *fabric.Switch
 	nodes []*nodeHW
 	met   *metrics.Registry
+	inj   *faults.Injector
 }
 
 type nodeHW struct {
@@ -153,6 +164,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	n := &Network{
 		eng: eng,
 		cfg: cfg,
+		inj: faults.NewInjector(cfg.Faults),
 		sw: fabric.NewSwitch("myrinet2000", fabric.SwitchConfig{
 			Ports:    cfg.SwitchPorts,
 			Crossing: switchCrossing,
@@ -189,6 +201,9 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // ShmemBelow implements dev.Network: MPICH-GM uses shared memory for all
 // intra-node message sizes.
 func (n *Network) ShmemBelow() int64 { return math.MaxInt64 }
+
+// FaultPlan implements dev.FaultPlanner (nil when faults are off).
+func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
 
 // ShmemConfig returns the intra-node channel parameters for MPICH-GM, whose
 // shared-memory path has the lowest small-message cost of the three
@@ -230,6 +245,7 @@ func (n *Network) InstrumentMetrics(m *metrics.Registry) {
 	// The star path carries switch output contention on the destination's
 	// down-link (see fabric.Switch), so the crossbar's own port pipes never
 	// run and registering them would only add zero rows.
+	n.inj.Instrument(m)
 }
 
 // Utilizations implements dev.UtilizationReporter.
@@ -262,6 +278,8 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 			pinCapPages),
 	}
 	ep.nic = dev.NewNICCounters(n.met, node)
+	ep.retries = n.met.Counter(metrics.NodePrefix(node) + "nic/retries")
+	ep.retryErrors = n.met.Counter(metrics.NodePrefix(node) + "nic/retry_exhausted")
 	dev.InstrumentPinCache(n.met, node, ep.pin)
 	return ep
 }
@@ -271,6 +289,25 @@ type endpoint struct {
 	node int
 	pin  *memreg.PinCache
 	nic  dev.NICCounters
+
+	// sink receives permanent transfer failures (dev.FaultReporter).
+	sink        func(error)
+	retries     *metrics.Counter
+	retryErrors *metrics.Counter
+}
+
+// OnFault implements dev.FaultReporter.
+func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// fail reports a permanent transfer failure to the registered sink, or
+// raises it directly when the device is used without the MPI layer.
+func (ep *endpoint) fail(err error) {
+	ep.retryErrors.Inc()
+	if ep.sink != nil {
+		ep.sink(err)
+		return
+	}
+	panic(err)
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -351,24 +388,63 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 		src.outTx += size
 		dstHW.outRx += size
 	}
-	fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), eng.Now(),
-		func(sim.Time) {
-			if bulk {
-				src.outTx -= size
-				dstHW.outRx -= size
-			}
-			// GM reliability: the receiving LANai generates an ACK that the
-			// sending LANai must absorb.
-			dstHW.lanai.Use(eng.Now(), ackProcess)
-			dstHW.acks.Inc()
-			if dstHW != src {
-				eng.Schedule(ackFlight, func() {
+	// finish is the delivered-intact path: release SRAM staging and run
+	// GM reliability — the receiving LANai generates an ACK that the
+	// sending LANai must absorb.
+	finish := func() {
+		if bulk {
+			src.outTx -= size
+			dstHW.outRx -= size
+		}
+		dstHW.lanai.Use(eng.Now(), ackProcess)
+		dstHW.acks.Inc()
+		if dstHW != src {
+			eng.Schedule(ackFlight, func() {
+				src.lanai.Use(eng.Now(), ackProcess)
+				src.acks.Inc()
+			})
+		}
+		deliver()
+	}
+	inj := ep.net.inj
+	if inj == nil || dst == ep.node {
+		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) { finish() })
+		return
+	}
+	start := eng.Now() + inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
+	// GM send-token reliability: a lost or damaged packet means no ACK;
+	// the sending LANai times out and resends at a fixed interval. The
+	// send token (and its SRAM staging) stays held across resends —
+	// exactly why faulty links amplify the Figure 5 staging pressure —
+	// and each resend costs the LANai a firmware timeout handler.
+	attempt := 1
+	var try func(at sim.Time)
+	try = func(at sim.Time) {
+		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+			func(end sim.Time) {
+				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
+					finish()
+					return
+				}
+				if attempt > gmRetry.Limit {
+					if bulk {
+						src.outTx -= size
+						dstHW.outRx -= size
+					}
+					ep.fail(&faults.LinkError{Src: ep.node, Dst: dst,
+						Attempts: attempt, Bytes: size, Proto: "GM send-token resend"})
+					return
+				}
+				delay := gmRetry.Delay(attempt)
+				attempt++
+				ep.retries.Inc()
+				eng.At(end+delay, func() {
 					src.lanai.Use(eng.Now(), ackProcess)
-					src.acks.Inc()
+					try(eng.Now())
 				})
-			}
-			deliver()
-		})
+			})
+	}
+	try(start)
 }
 
 // Eager implements dev.Endpoint (gm_send into a pre-posted receive buffer).

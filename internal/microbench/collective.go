@@ -11,7 +11,7 @@ import (
 // across all ranks (Pallas-style: buffers allocated once, a warmup
 // operation, barrier synchronization, the slowest rank's average reported).
 func collectiveTime(p cluster.Platform, procs int, iters int, setup func(r *mpi.Rank) func()) sim.Time {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(procs), Procs: procs})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(procs), Procs: procs})
 	var worst sim.Time
 	mustRun(w, func(r *mpi.Rank) {
 		op := setup(r)
@@ -64,7 +64,7 @@ func Allreduce(p cluster.Platform, procs int, sizes []int64) Curve {
 func MemoryUsage(p cluster.Platform, nodeCounts []int) Curve {
 	c := Curve{Label: p.Name}
 	for _, n := range nodeCounts {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(n), Procs: n})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(n), Procs: n})
 		mustRun(w, func(r *mpi.Rank) { r.Barrier() })
 		c.X = append(c.X, int64(n))
 		c.Y = append(c.Y, float64(w.MemoryUsage(0))/float64(units.MB))

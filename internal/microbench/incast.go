@@ -13,7 +13,7 @@ import (
 // bottleneck — the congestion component of Figure 11.
 func Incast(p cluster.Platform, senders int, size int64) float64 {
 	nodes := senders + 1
-	w := mpi.NewWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(nodes), Procs: nodes})
 	const perSender = 8
 	var rate float64
 	mustRun(w, func(r *mpi.Rank) {

@@ -39,7 +39,7 @@ func LogP(p cluster.Platform) LogPParams {
 	out := LogPParams{Net: p.Name}
 
 	// One-way small-message time and the host-busy split.
-	w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 	const iters = 32
 	var oneWay sim.Time
 	var warm [2]sim.Time
@@ -94,7 +94,7 @@ func LogP(p cluster.Platform) LogPParams {
 // measureSendOverhead times a burst of eager sends with no reply traffic:
 // the time per iteration the host spends is the send overhead.
 func measureSendOverhead(p cluster.Platform) sim.Time {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 	const n = 64
 	var per sim.Time
 	mustRun(w, func(r *mpi.Rank) {

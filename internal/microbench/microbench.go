@@ -41,7 +41,7 @@ func powers(lo, hi int64) []int64 {
 // pingPongOneWay measures average one-way latency for one message size:
 // a warmed-up ping-pong between ranks 0 and 1.
 func pingPongOneWay(p cluster.Platform, nodes, procsPerNode int, size int64, iters int) sim.Time {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(nodes), Procs: 2, ProcsPerNode: procsPerNode})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(nodes), Procs: 2, ProcsPerNode: procsPerNode})
 	var rtt sim.Time
 	mustRun(w, func(r *mpi.Rank) {
 		buf := r.Malloc(size)
@@ -73,10 +73,19 @@ func pingPongOneWay(p cluster.Platform, nodes, procsPerNode int, size int64, ite
 
 // Latency reproduces Figure 1: one-way MPI latency (us) across sizes.
 func Latency(p cluster.Platform, sizes []int64) Curve {
+	return LatencyIters(p, sizes, 16)
+}
+
+// LatencyIters is Latency with a caller-chosen iteration count. Fault
+// studies need it: under a small packet-drop probability the retransmit
+// penalty only shows up in the average once each (platform, size) point
+// runs enough ping-pongs to see drops, so the fault figures sweep with
+// hundreds of iterations instead of Latency's 16.
+func LatencyIters(p cluster.Platform, sizes []int64, iters int) Curve {
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
 		c.X = append(c.X, s)
-		c.Y = append(c.Y, pingPongOneWay(p, 2, 1, s, 16).Micros())
+		c.Y = append(c.Y, pingPongOneWay(p, 2, 1, s, iters).Micros())
 	}
 	return c
 }
@@ -97,7 +106,7 @@ func IntraLatency(p cluster.Platform, sizes []int64) Curve {
 // waits for them, and repeats; the receiver mirrors with receives and
 // returns a short ack each round.
 func bandwidthRun(p cluster.Platform, nodes, procsPerNode int, size int64, window, rounds int) float64 {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(nodes), Procs: 2, ProcsPerNode: procsPerNode})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(nodes), Procs: 2, ProcsPerNode: procsPerNode})
 	var bw float64
 	mustRun(w, func(r *mpi.Rank) {
 		peer := 1 - r.Rank()
@@ -153,7 +162,7 @@ func IntraBandwidth(p cluster.Platform, sizes []int64) Curve {
 	for _, s := range sizes {
 		c.X = append(c.X, s)
 		c.Y = append(c.Y, func() float64 {
-			w := mpi.NewWorld(mpi.Config{Net: p.New(1), Procs: 2, ProcsPerNode: 2})
+			w := mpi.MustWorld(mpi.Config{Net: p.New(1), Procs: 2, ProcsPerNode: 2})
 			return biOrUniIntraBW(w, s, 16, roundsFor(s, 16))
 		}())
 	}
@@ -213,7 +222,7 @@ func roundsFor(size int64, window int) int {
 func HostOverhead(p cluster.Platform, sizes []int64) Curve {
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 		iters := 16
 		var warm [2]sim.Time
 		mustRun(w, func(r *mpi.Rank) {
@@ -248,7 +257,7 @@ func HostOverhead(p cluster.Platform, sizes []int64) Curve {
 func BiLatency(p cluster.Platform, sizes []int64) Curve {
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 		iters := 16
 		var lat sim.Time
 		mustRun(w, func(r *mpi.Rank) {
@@ -283,7 +292,7 @@ func BiBandwidth(p cluster.Platform, sizes []int64) Curve {
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
 		rounds := roundsFor(s, window)
-		w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 		var bw float64
 		mustRun(w, func(r *mpi.Rank) {
 			peer := 1 - r.Rank()

@@ -12,7 +12,7 @@ import (
 // message size with a given per-iteration compute insertion: both sides
 // start a non-blocking receive and send, compute for c, then wait.
 func overlapRTT(p cluster.Platform, size int64, compute sim.Time, iters int) sim.Time {
-	w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+	w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 	var rtt sim.Time
 	mustRun(w, func(r *mpi.Rank) {
 		peer := 1 - r.Rank()
@@ -87,7 +87,7 @@ func ReuseLatency(p cluster.Platform, sizes []int64, pct int) Curve {
 	const iters = 50
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
-		w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 		var lat sim.Time
 		mustRun(w, func(r *mpi.Rank) {
 			peer := 1 - r.Rank()
@@ -134,7 +134,7 @@ func ReuseBandwidth(p cluster.Platform, sizes []int64, pct int) Curve {
 	c := Curve{Label: p.Name}
 	for _, s := range sizes {
 		rounds := roundsFor(s, window)
-		w := mpi.NewWorld(mpi.Config{Net: p.New(2), Procs: 2})
+		w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2})
 		var bw float64
 		mustRun(w, func(r *mpi.Rank) {
 			peer := 1 - r.Rank()

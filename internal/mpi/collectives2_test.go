@@ -10,7 +10,7 @@ import (
 
 func TestGatherCompletes(t *testing.T) {
 	for _, procs := range []int{2, 3, 8} {
-		w := NewWorld(Config{Net: cluster.IBA().New(8), Procs: procs})
+		w := MustWorld(Config{Net: cluster.IBA().New(8), Procs: procs})
 		if err := w.Run(func(r *Rank) {
 			block := int64(1024)
 			var recv = r.Malloc(block * int64(r.Size()))
@@ -23,7 +23,7 @@ func TestGatherCompletes(t *testing.T) {
 }
 
 func TestScatterCompletes(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(8), Procs: 8})
+	w := MustWorld(Config{Net: cluster.Myri().New(8), Procs: 8})
 	if err := w.Run(func(r *Rank) {
 		block := int64(4096)
 		send := r.Malloc(block * int64(r.Size()))
@@ -37,7 +37,7 @@ func TestScatterCompletes(t *testing.T) {
 func TestGatherSynchronizesRootLast(t *testing.T) {
 	// The root cannot leave the gather before the slowest contributor
 	// entered it.
-	w := NewWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
 	var slowest, rootExit sim.Time
 	if err := w.Run(func(r *Rank) {
 		d := units.FromMicros(float64(100 * r.Rank()))
@@ -60,7 +60,7 @@ func TestGatherSynchronizesRootLast(t *testing.T) {
 }
 
 func TestReduceScatterCompletes(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		send := r.Malloc(16 * 1024)
 		recv := r.Malloc(4 * 1024)
@@ -71,7 +71,7 @@ func TestReduceScatterCompletes(t *testing.T) {
 }
 
 func TestProbeSeesEnvelopeWithoutConsuming(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		if r.Rank() == 0 {
 			r.Send(r.Malloc(512), 1, 42)
@@ -92,7 +92,7 @@ func TestProbeSeesEnvelopeWithoutConsuming(t *testing.T) {
 }
 
 func TestIprobeNonBlocking(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		if r.Rank() == 1 {
 			if _, ok := r.Iprobe(0, 7); ok {
@@ -113,7 +113,7 @@ func TestIprobeNonBlocking(t *testing.T) {
 }
 
 func TestGatherPanicsOnUnevenBuffer(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("uneven gather buffer did not panic")

@@ -9,7 +9,7 @@ import (
 )
 
 func TestCommWorldMirrorsRank(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		if c.Rank() != r.Rank() || c.Size() != r.Size() {
@@ -24,7 +24,7 @@ func TestCommWorldMirrorsRank(t *testing.T) {
 }
 
 func TestCommSendRecv(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		buf := r.Malloc(1024)
@@ -42,7 +42,7 @@ func TestCommSendRecv(t *testing.T) {
 }
 
 func TestSplitByParity(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
+	w := MustWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		sub := c.Split(r.Rank()%2, r.Rank())
@@ -71,7 +71,7 @@ func TestSplitByParity(t *testing.T) {
 }
 
 func TestSplitKeyReordersRanks(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		// All one color; keys reverse the order.
@@ -88,7 +88,7 @@ func TestSplitKeyReordersRanks(t *testing.T) {
 func TestContextIsolation(t *testing.T) {
 	// A message sent on a duplicate must not match a receive on the world
 	// communicator with the same source and tag.
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		dup := c.Dup()
@@ -117,7 +117,7 @@ func TestContextIsolation(t *testing.T) {
 func TestSequentialSplitsIsolated(t *testing.T) {
 	// Two back-to-back splits produce distinct contexts and consistent
 	// groups.
-	w := NewWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		c := r.CommWorld()
 		a := c.Split(r.Rank()%2, 0)
@@ -133,7 +133,7 @@ func TestSequentialSplitsIsolated(t *testing.T) {
 }
 
 func TestSplitSingletonGroups(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.IBA().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		sub := r.CommWorld().Split(r.Rank(), 0) // every rank its own group
 		if sub.Size() != 1 || sub.Rank() != 0 {
@@ -149,7 +149,7 @@ func TestSplitSingletonGroups(t *testing.T) {
 func TestSubCommCollectivesRespectGroup(t *testing.T) {
 	// Row communicators of a 2x4 grid: a row barrier must not wait for the
 	// other row.
-	w := NewWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
+	w := MustWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
 	exits := make([]sim.Time, 8)
 	if err := w.Run(func(r *Rank) {
 		row := r.Rank() / 4
@@ -171,7 +171,7 @@ func TestSubCommCollectivesRespectGroup(t *testing.T) {
 }
 
 func TestCommIsendIrecv(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.Myri().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		sub := r.CommWorld().Split(r.Rank()%2, 0)
 		buf := r.Malloc(32 * units.KB) // rendezvous within the subgroup
@@ -191,7 +191,7 @@ func TestCommIsendIrecv(t *testing.T) {
 func TestCommRecvAnySourceTranslatesRank(t *testing.T) {
 	// A sub-communicator receive from AnySource must report the source as a
 	// communicator rank, not a world rank.
-	w := NewWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
+	w := MustWorld(Config{Net: cluster.IBA().New(8), Procs: 8})
 	if err := w.Run(func(r *Rank) {
 		// Odd ranks form a group: world ranks 1,3,5,7 -> comm ranks 0..3.
 		sub := r.CommWorld().Split(r.Rank()%2, 0)
@@ -212,7 +212,7 @@ func TestCommRecvAnySourceTranslatesRank(t *testing.T) {
 }
 
 func TestCommWaitTranslatesSource(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
 	if err := w.Run(func(r *Rank) {
 		sub := r.CommWorld().Split(0, -r.Rank()) // reversed order, all together
 		buf := r.Malloc(128)
@@ -233,7 +233,7 @@ func TestCommWaitTranslatesSource(t *testing.T) {
 }
 
 func TestWorldRankBoundsPanic(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("out-of-range WorldRank did not panic")

@@ -1,0 +1,58 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"mpinet/internal/sim"
+)
+
+// Sentinel errors, matched with errors.Is. Every job-level failure World.Run
+// returns wraps one of these (or faults.ErrRetryExhausted, which the device
+// layer owns): errors-are-fatal is the only error model, as in the paper's
+// MPI implementations, but the error is typed and attributed instead of a
+// panic string.
+var (
+	// ErrTimeout marks a blocking MPI operation that out-waited the
+	// configured watchdog (Config.Timeout) — the faulty-run replacement for
+	// an indefinite hang.
+	ErrTimeout = errors.New("operation timed out")
+	// ErrTruncate marks MPI_ERR_TRUNCATE: a message larger than the posted
+	// receive buffer.
+	ErrTruncate = errors.New("message truncation")
+)
+
+// TimeoutError is the concrete error behind ErrTimeout: which rank gave up
+// waiting, on what, after how long.
+type TimeoutError struct {
+	Rank  int
+	Op    string // the wait description, e.g. "recv from rank 3 (tag 0)"
+	After sim.Time
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s: no progress after %v: %v", e.Rank, e.Op, e.After, ErrTimeout)
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) hold.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// TruncateError is the concrete error behind ErrTruncate, naming the
+// culprit message.
+type TruncateError struct {
+	Rank, Src, Tag int
+	Size, Buf      int64
+}
+
+func (e *TruncateError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: message truncation: %d-byte message from rank %d (tag %d) into %d-byte buffer: %v",
+		e.Rank, e.Size, e.Src, e.Tag, e.Buf, ErrTruncate)
+}
+
+// Unwrap makes errors.Is(err, ErrTruncate) hold.
+func (e *TruncateError) Unwrap() error { return ErrTruncate }
+
+// jobAbort is the panic value a rank process raises to tear the job down
+// once the world has recorded a fatal fault. World.Run recovers it and
+// returns the recorded error; any other panic value propagates unchanged.
+type jobAbort struct{ err error }

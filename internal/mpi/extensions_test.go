@@ -12,7 +12,7 @@ import (
 // 8-node world of the given platform.
 func measureBcast(t *testing.T, p cluster.Platform, size int64, iters int) sim.Time {
 	t.Helper()
-	w := NewWorld(Config{Net: p.New(8), Procs: 8})
+	w := MustWorld(Config{Net: p.New(8), Procs: 8})
 	var per sim.Time
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(size)
@@ -46,7 +46,7 @@ func TestHWMulticastBcastFaster(t *testing.T) {
 func TestHWMulticastCorrectCompletion(t *testing.T) {
 	// Every rank must leave the Bcast after the root entered it, for
 	// several back-to-back broadcasts from the same root.
-	w := NewWorld(Config{Net: cluster.IBAMulticast().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.IBAMulticast().New(4), Procs: 4})
 	var rootEntry sim.Time
 	exits := make([]sim.Time, 4)
 	if err := w.Run(func(r *Rank) {
@@ -74,7 +74,7 @@ func TestHWMulticastCorrectCompletion(t *testing.T) {
 func TestHWMulticastFallsBackInSMPMode(t *testing.T) {
 	// With two ranks per node the multicast path must not be used (it
 	// addresses nodes, not ranks); the tree must still complete.
-	w := NewWorld(Config{Net: cluster.IBAMulticast().New(4), Procs: 8, ProcsPerNode: 2})
+	w := MustWorld(Config{Net: cluster.IBAMulticast().New(4), Procs: 8, ProcsPerNode: 2})
 	if err := w.Run(func(r *Rank) {
 		r.Bcast(r.Malloc(512), 0)
 	}); err != nil {
@@ -86,7 +86,7 @@ func TestOnDemandConnectionsMemory(t *testing.T) {
 	// A ring program touches only two peers per rank: on-demand memory must
 	// reflect that, while the default platform pays for all seven.
 	run := func(p cluster.Platform) int64 {
-		w := NewWorld(Config{Net: p.New(8), Procs: 8})
+		w := MustWorld(Config{Net: p.New(8), Procs: 8})
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(256)
 			next := (r.Rank() + 1) % r.Size()
@@ -115,7 +115,7 @@ func TestOnDemandFirstContactStall(t *testing.T) {
 	// The first message to a new peer pays connection setup; later ones do
 	// not.
 	measure := func(p cluster.Platform) (first, second sim.Time) {
-		w := NewWorld(Config{Net: p.New(2), Procs: 2})
+		w := MustWorld(Config{Net: p.New(2), Procs: 2})
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(64)
 			if r.Rank() == 0 {
@@ -152,7 +152,7 @@ func TestEagerThresholdAblation(t *testing.T) {
 	// Raising the eager threshold past a message size removes the
 	// rendezvous handshake for that size.
 	lat := func(threshold int64) sim.Time {
-		w := NewWorld(Config{Net: cluster.IBAEagerThreshold(threshold).New(2), Procs: 2})
+		w := MustWorld(Config{Net: cluster.IBAEagerThreshold(threshold).New(2), Procs: 2})
 		var rtt sim.Time
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(8 * units.KB)

@@ -10,7 +10,7 @@ import (
 
 func TestFatTreeWorldRuns(t *testing.T) {
 	// 32 nodes — impossible on any single switch in the repertoire.
-	w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+	w := MustWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(4096)
 		next := (r.Rank() + 1) % r.Size()
@@ -27,7 +27,7 @@ func TestFatTreeLatencyHierarchy(t *testing.T) {
 	// Same-leaf pairs are one hop; cross-leaf pairs three. Latency must
 	// reflect it, modestly.
 	measure := func(dst int) sim.Time {
-		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		w := MustWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
 		var rtt sim.Time
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(64)
@@ -66,7 +66,7 @@ func TestFatTreeScalableBandwidth(t *testing.T) {
 	// crossing leaves, should finish in about the single-pair time when the
 	// spine budget suffices.
 	run := func(pairs int) sim.Time {
-		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		w := MustWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
 		size := int64(2 * units.MB)
 		if err := w.Run(func(r *Rank) {
 			// Pair i: rank i (leaf 0) <-> rank 16+i (leaf 1).
@@ -95,7 +95,7 @@ func TestFatTreeOversubscriptionContention(t *testing.T) {
 	// streams get an up-link each (no slowdown over one stream), while 16
 	// streams share them pairwise and the bulk phase stretches.
 	run := func(streams int) sim.Time {
-		w := NewWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
+		w := MustWorld(Config{Net: cluster.IBAFatTree(32).New(32), Procs: 32})
 		size := int64(2 * units.MB)
 		if err := w.Run(func(r *Rank) {
 			if r.Rank() < streams {

@@ -32,7 +32,7 @@ func forEachNet(t *testing.T, nodes int, f func(t *testing.T, net dev.Network)) 
 func TestPingPongCompletes(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
 		for _, size := range []int64{0, 4, 1024, 2048, 64 * 1024, units.MB} {
-			w := NewWorld(Config{Net: net, Procs: 2})
+			w := MustWorld(Config{Net: net, Procs: 2})
 			var rtt sim.Time
 			err := w.Run(func(r *Rank) {
 				buf := r.Malloc(size)
@@ -61,7 +61,7 @@ func TestLatencyMonotoneInSize(t *testing.T) {
 		var prev sim.Time
 		name := net.Name()
 		for _, size := range []int64{4, 64, 1024, 16 * 1024, 256 * 1024} {
-			w := NewWorld(Config{Net: net, Procs: 2})
+			w := MustWorld(Config{Net: net, Procs: 2})
 			var rtt sim.Time
 			if err := w.Run(func(r *Rank) {
 				buf := r.Malloc(size)
@@ -87,7 +87,7 @@ func TestLatencyMonotoneInSize(t *testing.T) {
 
 func TestUnexpectedMessageMatched(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		var got Status
 		if err := w.Run(func(r *Rank) {
 			if r.Rank() == 0 {
@@ -109,7 +109,7 @@ func TestUnexpectedMessageMatched(t *testing.T) {
 func TestUnexpectedRendezvousMatched(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
 		size := int64(256 * 1024) // well past every eager threshold
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		if err := w.Run(func(r *Rank) {
 			if r.Rank() == 0 {
 				r.Send(r.Malloc(size), 1, 1)
@@ -128,7 +128,7 @@ func TestUnexpectedRendezvousMatched(t *testing.T) {
 
 func TestTagSelectivity(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		var order []int
 		if err := w.Run(func(r *Rank) {
 			if r.Rank() == 0 {
@@ -153,7 +153,7 @@ func TestTagSelectivity(t *testing.T) {
 
 func TestAnySourceAnyTag(t *testing.T) {
 	forEachNet(t, 3, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 3})
+		w := MustWorld(Config{Net: net, Procs: 3})
 		var sources []int
 		if err := w.Run(func(r *Rank) {
 			switch r.Rank() {
@@ -179,7 +179,7 @@ func TestAnySourceAnyTag(t *testing.T) {
 
 func TestIsendIrecvOverlapCorrectness(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		if err := w.Run(func(r *Rank) {
 			peer := 1 - r.Rank()
 			n := 8
@@ -199,7 +199,7 @@ func TestIsendIrecvOverlapCorrectness(t *testing.T) {
 
 func TestSendrecvExchange(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		if err := w.Run(func(r *Rank) {
 			peer := 1 - r.Rank()
 			st := r.Sendrecv(r.Malloc(4096), peer, 3, r.Malloc(4096), peer, 3)
@@ -214,7 +214,7 @@ func TestSendrecvExchange(t *testing.T) {
 
 func TestDeadlockDetected(t *testing.T) {
 	net := verbs.New(sim.New(), verbs.DefaultConfig(2))
-	w := NewWorld(Config{Net: net, Procs: 2})
+	w := MustWorld(Config{Net: net, Procs: 2})
 	err := w.Run(func(r *Rank) {
 		// Everyone receives, nobody sends.
 		r.Recv(r.Malloc(8), 1-r.Rank(), 0)
@@ -227,7 +227,7 @@ func TestDeadlockDetected(t *testing.T) {
 func TestBarrierSynchronizes(t *testing.T) {
 	for _, procs := range []int{2, 3, 4, 5, 7, 8} {
 		forEachNet(t, 8, func(t *testing.T, net dev.Network) {
-			w := NewWorld(Config{Net: net, Procs: procs})
+			w := MustWorld(Config{Net: net, Procs: procs})
 			after := make([]sim.Time, procs)
 			lastBefore := sim.Time(0)
 			if err := w.Run(func(r *Rank) {
@@ -254,7 +254,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestBcastReachesAll(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
 		for _, procs := range []int{2, 5, 8} {
-			w := NewWorld(Config{Net: testNetworksFresh(net.Name(), 8), Procs: procs})
+			w := MustWorld(Config{Net: testNetworksFresh(net.Name(), 8), Procs: procs})
 			done := make([]bool, procs)
 			if err := w.Run(func(r *Rank) {
 				buf := r.Malloc(4096)
@@ -280,7 +280,7 @@ func testNetworksFresh(name string, nodes int) dev.Network {
 
 func TestAllreduceCompletes(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 8})
+		w := MustWorld(Config{Net: net, Procs: 8})
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(1024)
 			for i := 0; i < 3; i++ {
@@ -294,7 +294,7 @@ func TestAllreduceCompletes(t *testing.T) {
 
 func TestAlltoallCompletes(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 8})
+		w := MustWorld(Config{Net: net, Procs: 8})
 		if err := w.Run(func(r *Rank) {
 			send := r.Malloc(8 * 1024)
 			recv := r.Malloc(8 * 1024)
@@ -307,7 +307,7 @@ func TestAlltoallCompletes(t *testing.T) {
 
 func TestAlltoallvAsymmetric(t *testing.T) {
 	forEachNet(t, 4, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 4})
+		w := MustWorld(Config{Net: net, Procs: 4})
 		if err := w.Run(func(r *Rank) {
 			p := r.Size()
 			me := r.Rank()
@@ -329,7 +329,7 @@ func TestAlltoallvAsymmetric(t *testing.T) {
 
 func TestAllgatherCompletes(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 8})
+		w := MustWorld(Config{Net: net, Procs: 8})
 		if err := w.Run(func(r *Rank) {
 			block := int64(2048)
 			r.Allgather(r.Malloc(block), r.Malloc(block*int64(r.Size())))
@@ -342,7 +342,7 @@ func TestAllgatherCompletes(t *testing.T) {
 func TestReduceCompletes(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
 		for _, procs := range []int{2, 3, 8} {
-			w := NewWorld(Config{Net: testNetworksFresh(net.Name(), 8), Procs: procs})
+			w := MustWorld(Config{Net: testNetworksFresh(net.Name(), 8), Procs: procs})
 			if err := w.Run(func(r *Rank) {
 				r.Reduce(r.Malloc(8192), 0)
 			}); err != nil {
@@ -356,7 +356,7 @@ func TestIntraNodeUsesConfiguredChannel(t *testing.T) {
 	// Two ranks on one node: Myrinet should be far faster intra-node than
 	// Quadrics (shared memory vs NIC loopback).
 	measure := func(net dev.Network) sim.Time {
-		w := NewWorld(Config{Net: net, Procs: 2, ProcsPerNode: 2})
+		w := MustWorld(Config{Net: net, Procs: 2, ProcsPerNode: 2})
 		var rtt sim.Time
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(64)
@@ -387,12 +387,12 @@ func TestIntraNodeUsesConfiguredChannel(t *testing.T) {
 
 func TestMappingBlockVsCyclic(t *testing.T) {
 	net := verbs.New(sim.New(), verbs.DefaultConfig(4))
-	w := NewWorld(Config{Net: net, Procs: 8, ProcsPerNode: 2, Mapping: Block})
+	w := MustWorld(Config{Net: net, Procs: 8, ProcsPerNode: 2, Mapping: Block})
 	if w.nodeOf(0) != 0 || w.nodeOf(1) != 0 || w.nodeOf(2) != 1 || w.nodeOf(7) != 3 {
 		t.Fatalf("block mapping wrong: %d %d %d %d", w.nodeOf(0), w.nodeOf(1), w.nodeOf(2), w.nodeOf(7))
 	}
 	net2 := verbs.New(sim.New(), verbs.DefaultConfig(4))
-	w2 := NewWorld(Config{Net: net2, Procs: 8, ProcsPerNode: 2, Mapping: Cyclic})
+	w2 := MustWorld(Config{Net: net2, Procs: 8, ProcsPerNode: 2, Mapping: Cyclic})
 	if w2.nodeOf(0) != 0 || w2.nodeOf(1) != 1 || w2.nodeOf(4) != 0 {
 		t.Fatalf("cyclic mapping wrong: %d %d %d", w2.nodeOf(0), w2.nodeOf(1), w2.nodeOf(4))
 	}
@@ -400,7 +400,7 @@ func TestMappingBlockVsCyclic(t *testing.T) {
 
 func TestProfileRecordsCalls(t *testing.T) {
 	net := verbs.New(sim.New(), verbs.DefaultConfig(2))
-	w := NewWorld(Config{Net: net, Procs: 2})
+	w := MustWorld(Config{Net: net, Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		if r.Rank() == 0 {
 			r.Send(r.Malloc(100), 1, 0)
@@ -439,7 +439,7 @@ func TestProfileRecordsCalls(t *testing.T) {
 
 func TestMemoryUsageGrowsOnlyForIBA(t *testing.T) {
 	memAt := func(mk func() dev.Network, procs int) int64 {
-		w := NewWorld(Config{Net: mk(), Procs: procs})
+		w := MustWorld(Config{Net: mk(), Procs: procs})
 		return w.MemoryUsage(0)
 	}
 	nets := testNetworks(8)
@@ -457,7 +457,7 @@ func TestMemoryUsageGrowsOnlyForIBA(t *testing.T) {
 func TestDeterministicReplay(t *testing.T) {
 	run := func() string {
 		net := gm.New(sim.New(), gm.DefaultConfig(4))
-		w := NewWorld(Config{Net: net, Procs: 4})
+		w := MustWorld(Config{Net: net, Procs: 4})
 		var log string
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(32 * 1024)
@@ -485,7 +485,7 @@ func TestDeterministicReplay(t *testing.T) {
 
 func TestHostBusyAccounted(t *testing.T) {
 	forEachNet(t, 2, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 2})
+		w := MustWorld(Config{Net: net, Procs: 2})
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(1024)
 			if r.Rank() == 0 {
@@ -509,7 +509,7 @@ func TestHostBusyAccounted(t *testing.T) {
 
 func TestManyProcsOneNodeSMP(t *testing.T) {
 	forEachNet(t, 8, func(t *testing.T, net dev.Network) {
-		w := NewWorld(Config{Net: net, Procs: 16, ProcsPerNode: 2})
+		w := MustWorld(Config{Net: net, Procs: 16, ProcsPerNode: 2})
 		if err := w.Run(func(r *Rank) {
 			buf := r.Malloc(4096)
 			next := (r.Rank() + 1) % r.Size()

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPersistentPingPong(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(4096)
 		peer := 1 - r.Rank()
@@ -41,7 +41,7 @@ func TestPersistentPingPong(t *testing.T) {
 }
 
 func TestPersistentStartall(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		peer := 1 - r.Rank()
 		sends := make([]*PersistentRequest, 4)
@@ -62,7 +62,7 @@ func TestPersistentStartall(t *testing.T) {
 }
 
 func TestPersistentDoubleStartPanics(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double Start did not panic")
@@ -82,7 +82,7 @@ func TestPersistentDoubleStartPanics(t *testing.T) {
 }
 
 func TestPersistentWaitWithoutStartPanics(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Wait without Start did not panic")

@@ -164,12 +164,34 @@ func (ps *procState) poll(p *sim.Proc) {
 }
 
 // waitFor blocks the rank inside the MPI library until pred holds,
-// executing protocol steps as they arrive.
+// executing protocol steps as they arrive. It is also where job failure
+// becomes visible to ranks: a recorded world fault aborts the rank here,
+// and with Config.Timeout armed a cancellable watchdog bounds the wait —
+// on a faulty network a rank can starve forever (peer dead, message
+// unrecoverable), and the watchdog converts that hang into a typed,
+// attributed error.
 func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
+	w := ps.world
+	var timedOut bool
+	var watchdog *sim.Timer
+	if w.cfg.Timeout > 0 {
+		watchdog = w.eng.AfterTimer(w.cfg.Timeout, func() {
+			timedOut = true
+			ps.progress.Broadcast()
+		})
+		defer watchdog.Stop()
+	}
 	for {
 		ps.poll(p)
+		if w.fault != nil {
+			panic(&jobAbort{err: w.fault})
+		}
 		if pred() {
 			return
+		}
+		if timedOut {
+			w.fail(&TimeoutError{Rank: ps.rank, Op: why, After: w.cfg.Timeout})
+			panic(&jobAbort{err: w.fault})
 		}
 		ps.progress.Wait(p, why)
 	}

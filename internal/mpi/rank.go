@@ -164,7 +164,19 @@ func (r *Rank) Sendrecv(sendBuf memreg.Buf, dst, sendTag int, recvBuf memreg.Buf
 }
 
 func (r *Rank) waitOne(req *Request) Status {
-	r.ps.waitFor(r.p, fmt.Sprintf("rank%d:wait", r.ps.rank), func() bool { return req.done })
+	why := fmt.Sprintf("rank%d:wait", r.ps.rank)
+	if r.ps.world.cfg.Timeout > 0 {
+		// With the watchdog armed, spend a little on a descriptive wait
+		// reason so a TimeoutError names the stuck operation and peer.
+		if req.isSend {
+			why = fmt.Sprintf("send to rank %d (tag %d, %d B)", req.peer, req.tag, req.size)
+		} else if req.src == AnySource {
+			why = fmt.Sprintf("recv from any source (tag %d)", req.tag)
+		} else {
+			why = fmt.Sprintf("recv from rank %d (tag %d)", req.src, req.tag)
+		}
+	}
+	r.ps.waitFor(r.p, why, func() bool { return req.done })
 	return req.status
 }
 

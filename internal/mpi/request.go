@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"mpinet/internal/memreg"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
@@ -44,9 +42,12 @@ func (r *Request) complete(src, tag int, size int64) {
 	if size > r.buf.Size {
 		// MPI_ERR_TRUNCATE: the payload does not fit the posted buffer. As
 		// in an MPI run with errors-are-fatal, that is a hard stop naming
-		// the culprit.
-		panic(fmt.Sprintf("mpi: rank %d: message truncation: %d-byte message from rank %d (tag %d) into %d-byte buffer",
-			r.ps.rank, size, src, tag, r.buf.Size))
+		// the culprit — recorded as the job's fault so World.Run returns a
+		// typed error (errors.Is(err, ErrTruncate)) once the ranks abort.
+		r.ps.world.fail(&TruncateError{
+			Rank: r.ps.rank, Src: src, Tag: tag, Size: size, Buf: r.buf.Size,
+		})
+		return
 	}
 	r.done = true
 	r.status = Status{Source: src, Tag: tag, Size: size}

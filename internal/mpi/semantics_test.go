@@ -1,7 +1,7 @@
 package mpi
 
 import (
-	"fmt"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -11,28 +11,35 @@ import (
 	"mpinet/internal/units"
 )
 
-func TestTruncationPanics(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("truncation did not panic")
-		}
-		if s := fmt.Sprint(r); !strings.Contains(s, "truncation") {
-			t.Fatalf("panic %q does not name truncation", s)
-		}
-	}()
-	_ = w.Run(func(r *Rank) {
+func TestTruncationFailsTyped(t *testing.T) {
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	err := w.Run(func(r *Rank) {
 		if r.Rank() == 0 {
 			r.Send(r.Malloc(1024), 1, 0)
 		} else {
 			r.Recv(r.Malloc(100), 0, 0) // too small
 		}
 	})
+	if err == nil {
+		t.Fatal("truncation did not fail the run")
+	}
+	if !errors.Is(err, ErrTruncate) {
+		t.Fatalf("err %v is not ErrTruncate", err)
+	}
+	var te *TruncateError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %v carries no *TruncateError", err)
+	}
+	if te.Rank != 1 || te.Size != 1024 || te.Buf != 100 {
+		t.Fatalf("TruncateError = %+v, want rank 1, 1024 into 100", te)
+	}
+	if s := err.Error(); !strings.Contains(s, "truncation") {
+		t.Fatalf("error %q does not name truncation", s)
+	}
 }
 
 func TestRecvIntoLargerBufferOK(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		if r.Rank() == 0 {
 			r.Send(r.Malloc(100), 1, 0)
@@ -48,7 +55,7 @@ func TestRecvIntoLargerBufferOK(t *testing.T) {
 }
 
 func TestWaitany(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(3), Procs: 3})
+	w := MustWorld(Config{Net: cluster.Myri().New(3), Procs: 3})
 	if err := w.Run(func(r *Rank) {
 		switch r.Rank() {
 		case 0:
@@ -72,7 +79,7 @@ func TestWaitany(t *testing.T) {
 }
 
 func TestScanChain(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
+	w := MustWorld(Config{Net: cluster.QSN().New(4), Procs: 4})
 	exits := make([]sim.Time, 4)
 	if err := w.Run(func(r *Rank) {
 		r.Scan(r.Malloc(4096))
@@ -95,7 +102,7 @@ func TestRandomPermutationExchanges(t *testing.T) {
 		nets := cluster.OSU()
 		net := nets[int(seed)%len(nets)]
 		procs := 4 + int(seed>>8)%5 // 4..8
-		w := NewWorld(Config{Net: net.New(8), Procs: procs})
+		w := MustWorld(Config{Net: net.New(8), Procs: procs})
 		// Derive a permutation deterministically from the seed.
 		perm := make([]int, procs)
 		for i := range perm {
@@ -135,7 +142,7 @@ func TestMessageOrderingProperty(t *testing.T) {
 		if len(sizesRaw) == 0 || len(sizesRaw) > 12 {
 			return true
 		}
-		w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+		w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 		sizes := make([]int64, len(sizesRaw))
 		for i, s := range sizesRaw {
 			sizes[i] = int64(s)*16 + 1 // up to ~1MB, crossing thresholds
@@ -163,7 +170,7 @@ func TestMessageOrderingProperty(t *testing.T) {
 }
 
 func TestSsendWaitsForReceiver(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	var sendDone, recvPosted sim.Time
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(64) // small — a plain Send would complete at issue
@@ -184,7 +191,7 @@ func TestSsendWaitsForReceiver(t *testing.T) {
 }
 
 func TestUtilizationsReported(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.Myri().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(64 * 1024)
 		if r.Rank() == 0 {
@@ -217,7 +224,7 @@ func TestUtilizationsReported(t *testing.T) {
 }
 
 func TestBsendReturnsImmediatelyAndDelivers(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	var sendReturned, recvDone sim.Time
 	size := int64(256 * 1024) // rendezvous territory
 	if err := w.Run(func(r *Rank) {

@@ -9,7 +9,7 @@ import (
 
 func TestTimelineRecordsMessageLifecycle(t *testing.T) {
 	tl := &trace.Timeline{}
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2, Timeline: tl})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2, Timeline: tl})
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(1024)
 		if r.Rank() == 0 {
@@ -46,7 +46,7 @@ func TestTimelineRecordsMessageLifecycle(t *testing.T) {
 
 func TestTimelineRendezvousEvents(t *testing.T) {
 	tl := &trace.Timeline{}
-	w := NewWorld(Config{Net: cluster.Myri().New(2), Procs: 2, Timeline: tl})
+	w := MustWorld(Config{Net: cluster.Myri().New(2), Procs: 2, Timeline: tl})
 	size := int64(128 * 1024)
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(size)
@@ -80,7 +80,7 @@ func TestTimelineRendezvousEvents(t *testing.T) {
 }
 
 func TestTimelineOffByDefault(t *testing.T) {
-	w := NewWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
+	w := MustWorld(Config{Net: cluster.IBA().New(2), Procs: 2})
 	if err := w.Run(func(r *Rank) {
 		buf := r.Malloc(64)
 		if r.Rank() == 0 {

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"mpinet/internal/dev"
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
@@ -50,6 +51,37 @@ type Config struct {
 	// shared memory and this library — into the registry. Off (nil) by
 	// default; enabling it does not perturb simulated time.
 	Metrics *metrics.Registry
+	// Timeout is the per-wait watchdog: a blocking MPI operation that makes
+	// no progress for this long fails the job with a TimeoutError instead
+	// of hanging. 0 means the default policy — armed at faults.DefaultTimeout
+	// when the network carries a fault plan (dev.FaultPlanner), off
+	// otherwise; negative disables the watchdog unconditionally.
+	Timeout sim.Time
+}
+
+// Validate reports the first problem that would make this configuration
+// unrunnable, or nil. NewWorld calls it; it is exported so callers can
+// pre-flight configurations they assemble programmatically.
+func (cfg Config) Validate() error {
+	if cfg.Net == nil {
+		return fmt.Errorf("mpi: WorldConfig.Net is nil — build a network first, e.g. mpinet.InfiniBand().New(8)")
+	}
+	if cfg.Procs < 1 {
+		return fmt.Errorf("mpi: Procs = %d; an MPI job needs at least one rank", cfg.Procs)
+	}
+	if cfg.ProcsPerNode < 0 {
+		return fmt.Errorf("mpi: ProcsPerNode = %d; must be >= 0 (0 means the default of 1)", cfg.ProcsPerNode)
+	}
+	ppn := cfg.ProcsPerNode
+	if ppn < 1 {
+		ppn = 1
+	}
+	nodes := cfg.Net.Nodes()
+	if cfg.Procs > nodes*ppn {
+		return fmt.Errorf("mpi: %d procs do not fit on %d nodes x %d procs/node — raise ProcsPerNode or use a larger platform",
+			cfg.Procs, nodes, ppn)
+	}
+	return nil
 }
 
 // World is one MPI job: a set of ranks wired to a network, ready to Run a
@@ -62,6 +94,10 @@ type World struct {
 	met   *metrics.Registry
 	start sim.Time
 	end   sim.Time
+	// fault is the first fatal job error (device retry exhaustion, watchdog
+	// timeout, truncation); once set, every rank aborts at its next
+	// progress point and Run returns it.
+	fault error
 
 	// Communicator-context bookkeeping (see comm.go).
 	commIDs     map[string]int
@@ -69,20 +105,20 @@ type World struct {
 	splitBoards map[[2]int]map[int][2]int
 }
 
-// NewWorld validates the configuration and builds per-rank state.
-func NewWorld(cfg Config) *World {
-	if cfg.Net == nil {
-		panic("mpi: Config.Net is required")
-	}
-	if cfg.Procs < 1 {
-		panic("mpi: need at least one process")
+// NewWorld validates the configuration and builds per-rank state. A
+// descriptive error (see Config.Validate) is returned instead of the
+// panic-later behaviour an invalid Net/Procs combination used to produce.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.ProcsPerNode < 1 {
 		cfg.ProcsPerNode = 1
 	}
-	nodes := cfg.Net.Nodes()
-	if cfg.Procs > nodes*cfg.ProcsPerNode {
-		panic(fmt.Sprintf("mpi: %d procs do not fit on %d nodes x %d", cfg.Procs, nodes, cfg.ProcsPerNode))
+	if cfg.Timeout == 0 {
+		if fp, ok := cfg.Net.(dev.FaultPlanner); ok && fp.FaultPlan() != nil {
+			cfg.Timeout = faults.DefaultTimeout
+		}
 	}
 	w := &World{
 		eng:         cfg.Net.Engine(),
@@ -122,9 +158,40 @@ func NewWorld(cfg Config) *World {
 			splitGen: make(map[int]int),
 		}
 		ps.bindMetrics(w.met)
+		// Route permanent device failures (retry exhaustion under a fault
+		// plan) into the world, attributed to the rank that issued the
+		// operation.
+		if fr, ok := ps.ep.(dev.FaultReporter); ok {
+			rank, node := ps.rank, ps.node
+			fr.OnFault(func(err error) {
+				w.fail(fmt.Errorf("mpi: rank %d (node %d): %w", rank, node, err))
+			})
+		}
 		w.procs = append(w.procs, ps)
 	}
+	return w, nil
+}
+
+// MustWorld is NewWorld for configurations known to be valid; it panics on
+// a validation error. The internal benchmark and experiment suites use it.
+func MustWorld(cfg Config) *World {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return w
+}
+
+// fail records the job's first fatal error and wakes every rank so each
+// aborts at its next progress point. Safe to call from device completion
+// events or from rank processes.
+func (w *World) fail(err error) {
+	if w.fault == nil {
+		w.fault = err
+	}
+	for _, ps := range w.procs {
+		ps.progress.Broadcast()
+	}
 }
 
 // nodeOf maps a rank to its node under the configured mapping.
@@ -147,8 +214,30 @@ func (w *World) Size() int { return w.cfg.Procs }
 // Run executes main on every rank concurrently (in simulated time) and
 // drives the simulation to completion. It returns the error from the event
 // loop — notably sim.DeadlockError if the program hangs, the simulation
-// analogue of a stuck MPI job.
-func (w *World) Run(main func(r *Rank)) error {
+// analogue of a stuck MPI job — or, on a faulty network, a typed job error:
+// one wrapping faults.ErrRetryExhausted when a device gave up retransmitting
+// (with the failing rank and link attributed), ErrTimeout when the watchdog
+// expired, ErrTruncate on a receive-buffer overflow. Errors are fatal to
+// the whole job, as in the paper's MPI implementations.
+func (w *World) Run(main func(r *Rank)) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// A rank that noticed w.fault tears the job down with a jobAbort
+		// panic; the engine wraps it in a ProcFailure. Recover exactly
+		// that pair into an error return; anything else is a real bug and
+		// keeps panicking.
+		if pf, ok := r.(*sim.ProcFailure); ok {
+			if ja, ok := pf.Value.(*jobAbort); ok {
+				w.end = w.eng.Now()
+				err = ja.err
+				return
+			}
+		}
+		panic(r)
+	}()
 	w.start = w.eng.Now()
 	for _, ps := range w.procs {
 		ps := ps
@@ -161,9 +250,14 @@ func (w *World) Run(main func(r *Rank)) error {
 			w.met.ProbeTime(pfx+"/slept_time", proc.SleptTime)
 		}
 	}
-	err := w.eng.Run()
+	runErr := w.eng.Run()
 	w.end = w.eng.Now()
-	return err
+	if w.fault != nil {
+		// A fault was recorded but every rank happened to finish (or the
+		// queue drained first): the job still failed.
+		return w.fault
+	}
+	return runErr
 }
 
 // Metrics returns the registry the world was configured with (nil when
@@ -258,3 +352,22 @@ const AnySource = -1
 
 // AnyTag matches any tag in Recv/Irecv.
 const AnyTag = math.MinInt32
+
+// The Set* methods below let functional options (internal/cluster, and the
+// root package's re-exports) adjust a Config without that package importing
+// mpi — they implement cluster.WorldSetter.
+
+// SetProcsPerNode sets Config.ProcsPerNode.
+func (c *Config) SetProcsPerNode(n int) { c.ProcsPerNode = n }
+
+// SetMapping sets Config.Mapping from its integer value.
+func (c *Config) SetMapping(m int) { c.Mapping = Mapping(m) }
+
+// SetTimeline sets Config.Timeline.
+func (c *Config) SetTimeline(tl *trace.Timeline) { c.Timeline = tl }
+
+// SetMetrics sets Config.Metrics.
+func (c *Config) SetMetrics(m *metrics.Registry) { c.Metrics = m }
+
+// SetTimeout sets Config.Timeout.
+func (c *Config) SetTimeout(d sim.Time) { c.Timeout = d }

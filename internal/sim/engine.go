@@ -30,9 +30,23 @@ import (
 type Time = units.Time
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	timer *Timer // non-nil for cancellable timer events
+}
+
+// Timer is a cancellable scheduled callback (see Engine.AfterTimer).
+type Timer struct{ stopped bool }
+
+// Stop cancels the timer. A stopped timer's event is discarded when it
+// reaches the head of the queue — without advancing the clock or counting
+// as a dispatch — so cancelled watchdogs leave no trace on a run: neither
+// its timing nor its deadlock detection sees them.
+func (t *Timer) Stop() {
+	if t != nil {
+		t.stopped = true
+	}
 }
 
 // eventHeap is a binary min-heap ordered by (time, sequence). It is
@@ -148,6 +162,24 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 }
 
+// AfterTimer schedules fn after delay like Schedule, but returns a Timer
+// whose Stop cancels the callback. This is what MPI watchdogs are built
+// from: arming one must be free when it never fires, so a stopped timer is
+// dropped on pop instead of dispatched as a no-op (which would drag the
+// clock forward to its expiry and inflate every Elapsed measurement).
+func (e *Engine) AfterTimer(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	t := &Timer{}
+	e.seq++
+	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn, timer: t})
+	if len(e.events) > e.qhw {
+		e.qhw = len(e.events)
+	}
+	return t
+}
+
 // Run dispatches events until the queue is empty. If live processes remain
 // blocked when the queue drains, Run returns a DeadlockError naming them. If
 // a process panicked, Run re-panics with the process name attached.
@@ -173,6 +205,10 @@ func (e *Engine) RunUntil(limit Time) error {
 	horizon := false
 	for len(e.events) > 0 {
 		ev := e.events[0]
+		if ev.timer != nil && ev.timer.stopped {
+			e.events.pop()
+			continue
+		}
 		if limit >= 0 && ev.at > limit {
 			horizon = true
 			break
@@ -237,6 +273,23 @@ func (e *Engine) Instrument(m *metrics.Registry) {
 	m.ProbeTime("engine/blocked_time", e.BlockedTime)
 	m.ProbeTime("engine/slept_time", e.SleptTime)
 }
+
+// ProcFailure is the value Run re-panics with when a simulated process
+// panicked: it names the process and carries the original panic value
+// intact, so a caller recovering it can inspect (or unwrap) typed values
+// instead of a flattened string.
+type ProcFailure struct {
+	Proc  string
+	Value interface{}
+}
+
+func (f *ProcFailure) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", f.Proc, f.Value)
+}
+
+// String keeps fmt.Sprint / %v output identical to the pre-struct string
+// form of this failure.
+func (f *ProcFailure) String() string { return f.Error() }
 
 // DeadlockError is returned by Run when all events have drained while
 // simulated processes are still blocked — the simulation analogue of an MPI

@@ -352,3 +352,59 @@ func TestRNGFloat64Range(t *testing.T) {
 		}
 	}
 }
+
+func TestTimerFires(t *testing.T) {
+	e := New()
+	fired := false
+	e.AfterTimer(10, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestStoppedTimerLeavesNoTrace(t *testing.T) {
+	e := New()
+	tm := e.AfterTimer(1000, func() { t.Fatal("stopped timer fired") })
+	e.Schedule(5, func() { tm.Stop() })
+	before := e.Dispatched()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The clock must stop at the last real event, not drag to the timer's
+	// expiry, and the discarded timer must not count as a dispatch.
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5 (stopped timer advanced the clock)", e.Now())
+	}
+	if got := e.Dispatched() - before; got != 1 {
+		t.Fatalf("dispatched %d events, want 1", got)
+	}
+}
+
+func TestStoppedTimerDoesNotMaskDeadlock(t *testing.T) {
+	e := New()
+	e.Spawn("stuck", func(p *Proc) {
+		var c Cond
+		tm := e.AfterTimer(50, func() {})
+		tm.Stop()
+		c.Wait(p, "forever")
+	})
+	err := e.Run()
+	var dl *DeadlockError
+	if !errorsAs(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+}
+
+func errorsAs(err error, target **DeadlockError) bool {
+	d, ok := err.(*DeadlockError)
+	if ok {
+		*target = d
+	}
+	return ok
+}

@@ -60,7 +60,7 @@ func (e *Engine) step(p *Proc) {
 	if msg.finished {
 		delete(e.procs, p)
 		if msg.panicked != nil {
-			e.failure = fmt.Sprintf("sim: process %q panicked: %v", p.name, msg.panicked)
+			e.failure = &ProcFailure{Proc: p.name, Value: msg.panicked}
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"mpinet/internal/bus"
 	"mpinet/internal/dev"
 	"mpinet/internal/fabric"
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
 	"mpinet/internal/shmem"
@@ -58,6 +59,10 @@ type Config struct {
 	// folded-Clos fabric built from crossbar elements — the scaling
 	// extension for clusters larger than one switch.
 	FatTree *fabric.FatTreeConfig
+
+	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
+	// enables the RC retransmit machinery below.
+	Faults *faults.Plan
 }
 
 // DefaultConfig is the paper's 8-node OSU testbed.
@@ -114,6 +119,12 @@ const (
 	connSetup = 350 * units.Microsecond
 )
 
+// rcRetry is the VAPI Reliable Connection retransmit policy: the HCA
+// detects a missing ACK after a local-ack-timeout and resends, doubling
+// the timeout each consecutive retry; after retry_count resends it posts a
+// completion with a transport-retry-exceeded error.
+var rcRetry = faults.RetryPolicy{Limit: 7, Interval: 150 * units.Microsecond, Exponential: true}
+
 // Network is a wired InfiniBand cluster.
 type Network struct {
 	eng   *sim.Engine
@@ -121,6 +132,7 @@ type Network struct {
 	topo  fabric.Topology
 	nodes []*nodeHW
 	met   *metrics.Registry
+	inj   *faults.Injector
 }
 
 type nodeHW struct {
@@ -138,7 +150,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.SwitchPorts == 0 {
 		cfg.SwitchPorts = 8
 	}
-	n := &Network{eng: eng, cfg: cfg}
+	n := &Network{eng: eng, cfg: cfg, inj: faults.NewInjector(cfg.Faults)}
 	if cfg.FatTree != nil {
 		ft := *cfg.FatTree
 		if ft.LinkRate == 0 {
@@ -194,6 +206,9 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // for intra-node messages under 16 KB and NIC loopback above.
 func (n *Network) ShmemBelow() int64 { return 16 * units.KB }
 
+// FaultPlan implements dev.FaultPlanner (nil when faults are off).
+func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
 // ShmemConfig returns the intra-node channel parameters for MVAPICH.
 func (n *Network) ShmemConfig() shmem.Config {
 	c := shmem.DefaultConfig()
@@ -222,6 +237,7 @@ func (n *Network) InstrumentMetrics(m *metrics.Registry) {
 	if ti, ok := n.topo.(interface{ Instrument(*metrics.Registry) }); ok {
 		ti.Instrument(m)
 	}
+	n.inj.Instrument(m)
 }
 
 // Utilizations implements dev.UtilizationReporter.
@@ -254,6 +270,8 @@ func (n *Network) NewEndpoint(node int) dev.Endpoint {
 	}
 	ep.nic = dev.NewNICCounters(n.met, node)
 	ep.connSetups = n.met.Counter(metrics.NodePrefix(node) + "nic/conn_setups")
+	ep.retries = n.met.Counter(metrics.NodePrefix(node) + "nic/retries")
+	ep.retryErrors = n.met.Counter(metrics.NodePrefix(node) + "nic/retry_exhausted")
 	dev.InstrumentPinCache(n.met, node, ep.pin)
 	return ep
 }
@@ -266,9 +284,29 @@ type endpoint struct {
 	// connected tracks established RC connections under on-demand mode.
 	connected map[int]bool
 
+	// sink receives permanent transfer failures (dev.FaultReporter).
+	sink func(error)
+
 	// metric handles (nil-safe no-ops when instrumentation is off)
-	nic        dev.NICCounters
-	connSetups *metrics.Counter
+	nic         dev.NICCounters
+	connSetups  *metrics.Counter
+	retries     *metrics.Counter
+	retryErrors *metrics.Counter
+}
+
+// OnFault implements dev.FaultReporter.
+func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// fail reports a permanent transfer failure to the registered sink. With
+// no sink (device used bare, without the MPI layer) the error is raised
+// directly: losing it would turn a modelled failure into a silent hang.
+func (ep *endpoint) fail(err error) {
+	ep.retryErrors.Inc()
+	if ep.sink != nil {
+		ep.sink(err)
+		return
+	}
+	panic(err)
 }
 
 func (ep *endpoint) Node() int { return ep.node }
@@ -368,9 +406,41 @@ func (ep *endpoint) path(dst int) []fabric.PathStage {
 }
 
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
-	start := ep.net.eng.Now() + ep.connect(dst)
-	fabric.Transfer(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), start,
-		func(sim.Time) { deliver() })
+	eng := ep.net.eng
+	start := eng.Now() + ep.connect(dst)
+	inj := ep.net.inj
+	if inj == nil || dst == ep.node {
+		// Healthy fabric, or HCA loopback that never touches the cable.
+		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), start,
+			func(sim.Time) { deliver() })
+		return
+	}
+	start += inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
+	// VAPI RC reliability: each attempt re-runs the full staged path (the
+	// retransmit re-occupies bus, HCA engines and link), the verdict lands
+	// at delivery time, and a lost or CRC-failed packet is retransmitted
+	// after an exponentially growing local-ack-timeout.
+	attempt := 1
+	var try func(at sim.Time)
+	try = func(at sim.Time) {
+		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+			func(end sim.Time) {
+				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
+					deliver()
+					return
+				}
+				if attempt > rcRetry.Limit {
+					ep.fail(&faults.LinkError{Src: ep.node, Dst: dst,
+						Attempts: attempt, Bytes: size, Proto: "RC retransmit"})
+					return
+				}
+				delay := rcRetry.Delay(attempt)
+				attempt++
+				ep.retries.Inc()
+				eng.At(end+delay, func() { try(eng.Now()) })
+			})
+	}
+	try(start)
 }
 
 // Multicast implements dev.Multicaster when the platform enables hardware

@@ -15,8 +15,11 @@
 // Build a testbed, run an MPI program on it, read the clock:
 //
 //	p := mpinet.InfiniBand()
-//	w := mpinet.NewWorld(mpinet.WorldConfig{Net: p.New(2), Procs: 2})
-//	err := w.Run(func(r *mpinet.Rank) {
+//	w, err := mpinet.NewWorld(mpinet.WorldConfig{Net: p.New(2), Procs: 2})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	err = w.Run(func(r *mpinet.Rank) {
 //		buf := r.Malloc(4096)
 //		if r.Rank() == 0 {
 //			r.Send(buf, 1, 0)
@@ -30,13 +33,28 @@
 //	lat := mpinet.Latency(mpinet.Quadrics(), []int64{4, 64, 1024})
 //	res, err := mpinet.RunApp("LU", mpinet.Myrinet(), mpinet.ClassB, 8)
 //
+// Platform variants and degraded scenarios compose through functional
+// options (Platform.With / NewWorld options):
+//
+//	p := mpinet.InfiniBand().With(mpinet.PCIBus())          // Section 4.7 variant
+//	faulty := p.With(mpinet.WithFaults(mpinet.DropPlan(42, 0.01)))
+//	w, err := mpinet.NewWorld(mpinet.WorldConfig{Net: faulty.New(2), Procs: 2})
+//
+// A run on a faulty network either completes (slower — the NICs retransmit
+// per their interconnect's reliability protocol) or returns a typed error:
+// errors.Is(err, mpinet.ErrRetryExhausted) for a dead link,
+// errors.Is(err, mpinet.ErrTimeout) for a starved wait. See docs/MODEL.md
+// §12 for the fault model.
+//
 // The full paper reproduction lives in cmd/paperrepro; see DESIGN.md for
 // the model inventory and EXPERIMENTS.md for paper-vs-simulated results.
 package mpinet
 
 import (
 	"mpinet/internal/apps"
+
 	"mpinet/internal/cluster"
+	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
 	"mpinet/internal/microbench"
@@ -88,7 +106,81 @@ type (
 	Metrics = metrics.Registry
 	// MetricsSnapshot is a rendered view of a Metrics registry.
 	MetricsSnapshot = metrics.Snapshot
+	// Option is a functional option for Platform.With and NewWorld.
+	Option = cluster.Option
+	// FaultPlan is a deterministic, seed-driven fault scenario for
+	// WithFaults. See internal/faults and docs/MODEL.md §12.
+	FaultPlan = faults.Plan
+	// LinkFault overrides drop/corrupt rates on matching links of a
+	// FaultPlan.
+	LinkFault = faults.LinkRule
+	// LinkFlap is a link-down window of a FaultPlan.
+	LinkFlap = faults.Flap
+	// NICStall is a NIC freeze window of a FaultPlan.
+	NICStall = faults.Stall
+	// BusBurst is a bus-contention window of a FaultPlan.
+	BusBurst = faults.BusBurst
 )
+
+// Typed errors for World.Run and RunApp failures; match with errors.Is.
+var (
+	// ErrUnknownApp marks a workload name RunApp does not know.
+	ErrUnknownApp = apps.ErrUnknownApp
+	// ErrTruncate marks MPI_ERR_TRUNCATE: a message larger than its posted
+	// receive buffer.
+	ErrTruncate = mpi.ErrTruncate
+	// ErrRetryExhausted marks a permanent link failure: a NIC retried per
+	// its reliability protocol (RC retransmit, GM resend, Elan source
+	// retry) and gave up. The error text names the failing rank and link.
+	ErrRetryExhausted = faults.ErrRetryExhausted
+	// ErrTimeout marks a blocking MPI operation that made no progress
+	// within the watchdog interval of a faulty run.
+	ErrTimeout = mpi.ErrTimeout
+)
+
+// DropPlan returns a fault plan with a uniform per-packet drop probability
+// on every link, under the given seed.
+func DropPlan(seed uint64, drop float64) *FaultPlan { return faults.DropPlan(seed, drop) }
+
+// Functional options. Platform-side options (PCIBus, OnDemand, Multicast,
+// FatTree, EagerThreshold, WithFaults, WithSeed) take effect through
+// Platform.With; world-side options (WithProcsPerNode, WithTimeline,
+// WithMetrics, WithTimeout) through NewWorld. WithFaults spans both: pass
+// it to Platform.With to wire the plan into the NICs (NewWorld then arms
+// the watchdog automatically).
+
+// PCIBus forces the 64-bit/66 MHz PCI bus of Section 4.7 (InfiniBand only).
+func PCIBus() Option { return cluster.PCIBus() }
+
+// OnDemand enables on-demand connection management (Section 3.8).
+func OnDemand() Option { return cluster.OnDemand() }
+
+// Multicast enables hardware-multicast collectives (Section 3.7).
+func Multicast() Option { return cluster.Multicast() }
+
+// FatTree builds a two-level fat tree sized from the node count.
+func FatTree() Option { return cluster.FatTree() }
+
+// EagerThreshold overrides the eager/rendezvous switch point.
+func EagerThreshold(t int64) Option { return cluster.EagerThreshold(t) }
+
+// WithFaults runs the platform under a fault plan; see FaultPlan.
+func WithFaults(plan *FaultPlan) Option { return cluster.WithFaults(plan) }
+
+// WithSeed overrides the fault plan's seed.
+func WithSeed(seed uint64) Option { return cluster.WithSeed(seed) }
+
+// WithProcsPerNode sets ranks per node (the paper's SMP configuration).
+func WithProcsPerNode(n int) Option { return cluster.WithProcsPerNode(n) }
+
+// WithTimeline collects message-level events into tl.
+func WithTimeline(tl *Timeline) Option { return cluster.WithTimeline(tl) }
+
+// WithMetrics wires every layer into the registry m.
+func WithMetrics(m *Metrics) Option { return cluster.WithMetrics(m) }
+
+// WithTimeout sets the per-wait MPI watchdog (negative disables it).
+func WithTimeout(d Time) Option { return cluster.WithTimeout(d) }
 
 // NewMetrics returns an empty observability registry for
 // WorldConfig.Metrics.
@@ -116,6 +208,8 @@ func InfiniBand() Platform { return cluster.IBA() }
 
 // InfiniBandPCI is InfiniBand forced onto a 64-bit/66 MHz PCI bus
 // (Section 4.7).
+//
+// Deprecated: use InfiniBand().With(PCIBus()).
 func InfiniBandPCI() Platform { return cluster.IBAPCI() }
 
 // Myrinet returns the paper's Myrinet platform (M3F NICs, Myrinet-2000
@@ -131,10 +225,14 @@ func Topspin() Platform { return cluster.Topspin() }
 
 // InfiniBandOnDemand is InfiniBand with on-demand connection management —
 // the memory-usage fix the paper's Section 3.8 points to.
+//
+// Deprecated: use InfiniBand().With(OnDemand()).
 func InfiniBandOnDemand() Platform { return cluster.IBAOnDemand() }
 
 // InfiniBandMulticast is InfiniBand with the hardware-collective extension
 // of Section 3.7: broadcasts ride switch multicast.
+//
+// Deprecated: use InfiniBand().With(Multicast()).
 func InfiniBandMulticast() Platform { return cluster.IBAMulticast() }
 
 // LogP extracts LogGP parameters (L, os, or, G) for an interconnect, per
@@ -145,8 +243,14 @@ func LogP(p Platform) LogPParams { return microbench.LogP(p) }
 // order.
 func Platforms() []Platform { return cluster.OSU() }
 
-// NewWorld builds an MPI job; see mpi.NewWorld.
-func NewWorld(cfg WorldConfig) *World { return mpi.NewWorld(cfg) }
+// NewWorld builds an MPI job from the configuration plus any world-side
+// options, validating it first: a nil Net, Procs < 1, or more procs than
+// the network can place come back as descriptive errors instead of later
+// panics. See mpi.NewWorld.
+func NewWorld(cfg WorldConfig, opts ...Option) (*World, error) {
+	cluster.ApplyWorld(&cfg, opts...)
+	return mpi.NewWorld(cfg)
+}
 
 // Latency measures one-way MPI latency (us) across message sizes
 // (Figure 1).

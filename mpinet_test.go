@@ -4,9 +4,12 @@ import "testing"
 
 func TestFacadeQuickstart(t *testing.T) {
 	p := InfiniBand()
-	w := NewWorld(WorldConfig{Net: p.New(2), Procs: 2})
+	w, err := NewWorld(WorldConfig{Net: p.New(2), Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got Status
-	err := w.Run(func(r *Rank) {
+	err = w.Run(func(r *Rank) {
 		buf := r.Malloc(4096)
 		if r.Rank() == 0 {
 			r.Send(buf, 1, 0)

@@ -4,7 +4,7 @@
 # be byte-identical between -j 1 and -j N, and two identical instrumented
 # runs must produce byte-identical metrics snapshots and Chrome traces.
 #
-# Usage: check.sh [-short] [-full] [-j N]
+# Usage: check.sh [-short] [-full] [-j N] [-faults] [-seed N]
 #
 #   -short   pass -short to go test (the CI race-shard budget: quick-mode
 #            suites only, minutes-long class B gates skipped)
@@ -12,6 +12,9 @@
 #            reproduction acceptance gates, with a generous timeout
 #   -j N     worker count for the determinism smoke's parallel run
 #            (default 8)
+#   -faults  also run the fault-injection smoke (all three interconnects,
+#            healthy and 1% drop) and its seeded-replay determinism check
+#   -seed N  fault-plan seed for -faults (default 0 = the committed seed)
 #
 # The default (no flags) runs the full test suite with a 30m timeout; since
 # the experiment suite parallelizes across cores, this fits comfortably on
@@ -22,6 +25,8 @@ cd "$(dirname "$0")/.."
 short=""
 timeout=30m
 jobs=8
+faults=""
+seed=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -short) short="-short" ;;
@@ -30,8 +35,13 @@ while [ $# -gt 0 ]; do
         shift
         jobs="$1"
         ;;
+    -faults) faults=1 ;;
+    -seed)
+        shift
+        seed="$1"
+        ;;
     *)
-        echo "usage: check.sh [-short] [-full] [-j N]" >&2
+        echo "usage: check.sh [-short] [-full] [-j N] [-faults] [-seed N]" >&2
         exit 2
         ;;
     esac
@@ -72,5 +82,21 @@ cmp "$tmp/trace1.json" "$tmp/trace2.json" || {
     exit 1
 }
 echo "observability artifacts byte-identical across runs"
+
+if [ -n "$faults" ]; then
+    echo "== fault-injection smoke =="
+    # Every interconnect must survive both the healthy control and 1% drop
+    # (completing slower or failing typed — never hanging)...
+    for rate in 0 0.01; do
+        "$tmp/paperrepro" -faults -droprate "$rate" -seed "$seed" >"$tmp/faults_$rate.txt"
+    done
+    # ...and the seeded fault run must replay byte-identically.
+    "$tmp/paperrepro" -faults -droprate 0.01 -seed "$seed" >"$tmp/faults_replay.txt"
+    cmp "$tmp/faults_0.01.txt" "$tmp/faults_replay.txt" || {
+        echo "FAIL: seeded fault run differs between identical replays" >&2
+        exit 1
+    }
+    echo "fault smoke passed; seeded run byte-identical across replays"
+fi
 
 echo "OK"
