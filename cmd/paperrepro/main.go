@@ -7,6 +7,7 @@
 //	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-benchjson FILE]
 //	paperrepro [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
 //	paperrepro -faults [-droprate P] [-seed N] [-faultnet IBA|Myri|QSN]
+//	paperrepro -railfail [-railpair IBA+Myri] [-railpolicy failover|stripe] [-seed N]
 //
 // With -o - the document goes to stdout. A full (class B) run simulates
 // several hundred cluster executions and takes a few minutes of wall-clock
@@ -32,6 +33,12 @@
 // reporting injector and NIC recovery counters. Runs are deterministic in
 // -seed (0 = the committed experiment seed); the same seed always drops
 // the same packets. See docs/MODEL.md §12.
+//
+// The fourth form runs the multi-rail failover smoke: LU class S on a
+// bonded pair of interconnects, once healthy to calibrate, once with the
+// primary rail killed at 50% of the healthy elapsed (must complete via
+// failover), and once on the solo primary under the same plan (must fail
+// with a typed error). See docs/MODEL.md §13.
 package main
 
 import (
@@ -64,7 +71,18 @@ func main() {
 	dropRate := flag.Float64("droprate", 0.01, "per-packet drop probability for -faults (0 = healthy control)")
 	seed := flag.Uint64("seed", 0, "fault-plan seed for -faults (0 = the committed experiment seed)")
 	faultNet := flag.String("faultnet", "", "interconnect for -faults (IBA, Myri or QSN; empty = all three)")
+	railRun := flag.Bool("railfail", false, "run the rail-failover smoke (LU class S on a bonded pair, primary killed mid-run) and exit")
+	railPair := flag.String("railpair", "IBA+Myri", "bonded pair for -railfail (2-3 of IBA, Myri, QSN joined by +)")
+	railPolicy := flag.String("railpolicy", "failover", "bond policy for -railfail (failover or stripe)")
 	flag.Parse()
+
+	if *railRun {
+		if err := experiments.RailFailSmoke(os.Stdout, *railPair, *railPolicy, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faultsRun {
 		nets := []string{"IBA", "Myri", "QSN"}

@@ -19,6 +19,7 @@ import (
 	"mpinet/internal/faults"
 	"mpinet/internal/gm"
 	"mpinet/internal/metrics"
+	"mpinet/internal/rail"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 	"mpinet/internal/verbs"
@@ -50,6 +51,12 @@ type Settings struct {
 	// Seed, when non-zero, overrides the fault plan's seed — the handle
 	// the -seed CLI flag turns.
 	Seed uint64
+	// RailPolicy selects the bond's degraded-mode policy (bonded platforms
+	// only; see Bond).
+	RailPolicy rail.Policy
+	// Heartbeat overrides the bond's health-monitor probe period (0 = rail
+	// package default; bonded platforms only).
+	Heartbeat sim.Time
 }
 
 // plan resolves the effective fault plan: a copy of Faults with the Seed
@@ -68,16 +75,17 @@ func (s Settings) plan() *faults.Plan {
 // Platform is a buildable interconnect testbed: a name, a Settings
 // baseline, and the interconnect-specific builder. Platform is a value
 // type — With and Named return derived copies, so predefined platforms are
-// never mutated.
+// never mutated. Builders take the engine from outside so composite
+// platforms (Bond) can wire several fabrics onto one shared engine.
 type Platform struct {
 	Name  string
 	base  Settings
-	build func(nodes int, s Settings) dev.Network
+	build func(eng *sim.Engine, nodes int, s Settings) dev.Network
 }
 
 // New returns a freshly wired network (with its own simulation engine) of
 // the given node count, configured per the platform's settings.
-func (p Platform) New(nodes int) dev.Network { return p.build(nodes, p.base) }
+func (p Platform) New(nodes int) dev.Network { return p.build(sim.New(), nodes, p.base) }
 
 // With derives a variant platform with the options' platform-side effects
 // applied. Options that carry a name suffix (PCIBus -> "-PCI") extend the
@@ -209,8 +217,26 @@ func WithTimeout(d sim.Time) Option {
 	return Option{world: func(c WorldSetter) { c.SetTimeout(d) }}
 }
 
+// WithRailPolicy selects a bonded platform's degraded-mode policy
+// (rail.Failover or rail.Stripe). Stripe bonds get a "-stripe" name suffix
+// so reports distinguish the two; Failover is the default and keeps the
+// plain bond name. Inert on solo platforms.
+func WithRailPolicy(p rail.Policy) Option {
+	suffix := ""
+	if p == rail.Stripe {
+		suffix = "-stripe"
+	}
+	return Option{suffix: suffix, platform: func(s *Settings) { s.RailPolicy = p }}
+}
+
+// WithHeartbeat sets a bonded platform's health-monitor probe period.
+// Inert on solo platforms.
+func WithHeartbeat(d sim.Time) Option {
+	return Option{platform: func(s *Settings) { s.Heartbeat = d }}
+}
+
 // buildIBA wires the InfiniBand testbed from settings.
-func buildIBA(nodes int, s Settings) dev.Network {
+func buildIBA(eng *sim.Engine, nodes int, s Settings) dev.Network {
 	cfg := verbs.DefaultConfig(nodes)
 	if s.PCI {
 		cfg.Bus = bus.PCI64x66
@@ -228,30 +254,30 @@ func buildIBA(nodes int, s Settings) dev.Network {
 		}
 		cfg.FatTree = &fabric.FatTreeConfig{HostsPerLeaf: 16, Leaves: leaves, Spines: 8}
 	}
-	cfg.Faults = s.plan()
-	return verbs.New(sim.New(), cfg)
+	cfg.Faults = s.plan().Flatten(0)
+	return verbs.New(eng, cfg)
 }
 
 // buildMyri wires the Myrinet testbed from settings.
-func buildMyri(nodes int, s Settings) dev.Network {
+func buildMyri(eng *sim.Engine, nodes int, s Settings) dev.Network {
 	cfg := gm.DefaultConfig(nodes)
 	cfg.EagerThreshold = s.EagerThreshold
 	if s.SwitchPorts > 0 {
 		cfg.SwitchPorts = s.SwitchPorts
 	}
-	cfg.Faults = s.plan()
-	return gm.New(sim.New(), cfg)
+	cfg.Faults = s.plan().Flatten(0)
+	return gm.New(eng, cfg)
 }
 
 // buildQSN wires the Quadrics testbed from settings.
-func buildQSN(nodes int, s Settings) dev.Network {
+func buildQSN(eng *sim.Engine, nodes int, s Settings) dev.Network {
 	cfg := elan.DefaultConfig(nodes)
 	cfg.EagerThreshold = s.EagerThreshold
 	if s.SwitchPorts > 0 {
 		cfg.SwitchPorts = s.SwitchPorts
 	}
-	cfg.Faults = s.plan()
-	return elan.New(sim.New(), cfg)
+	cfg.Faults = s.plan().Flatten(0)
+	return elan.New(eng, cfg)
 }
 
 // IBA is InfiniBand on PCI-X with the 8-port InfiniScale switch (the
@@ -268,6 +294,59 @@ func QSN() Platform { return Platform{Name: "QSN", build: buildQSN} }
 // paper's ordering.
 func OSU() []Platform {
 	return []Platform{IBA(), Myri(), QSN()}
+}
+
+// Bond wires 2-3 member platforms as the rails of one bonded channel
+// (internal/rail): the paper's testbed carries all three interconnects in
+// every node, and Bond(IBA(), Myri()) models actually using two of them at
+// once — rail 0 is the primary, the rest fail over (or stripe, with
+// WithRailPolicy) in declaration order.
+//
+// All member fabrics share one simulation engine. Each member keeps its
+// own platform settings (Bond(IBA().With(PCIBus()), Myri()) works); the
+// bond-level options govern faults and rail policy: the bond's fault plan
+// is flattened per rail (rail-level RailKills/RailDegrades become wildcard
+// link entries on the matching member, see faults.Flatten) and rails past
+// the primary draw from RailSeed-derived seeds so the two fabrics suffer
+// independent packet fates. A fault plan set directly on a member platform
+// is overridden — the bond's plan is the single source of truth.
+func Bond(primary Platform, others ...Platform) Platform {
+	members := append([]Platform{primary}, others...)
+	name := ""
+	for i, m := range members {
+		if i > 0 {
+			name += "+"
+		}
+		name += m.Name
+	}
+	return Platform{
+		Name: name,
+		build: func(eng *sim.Engine, nodes int, s Settings) dev.Network {
+			plan := s.plan()
+			rails := make([]dev.Network, len(members))
+			for i, m := range members {
+				ms := m.base
+				if ms.EagerThreshold == 0 {
+					ms.EagerThreshold = s.EagerThreshold
+				}
+				if ms.SwitchPorts == 0 {
+					ms.SwitchPorts = s.SwitchPorts
+				}
+				ms.Faults, ms.Seed = nil, 0
+				if mp := plan.Flatten(i); mp != nil {
+					cp := *mp
+					cp.Seed = faults.RailSeed(cp.Seed, i)
+					ms.Faults = &cp
+				}
+				rails[i] = m.build(eng, nodes, ms)
+			}
+			tun := rail.Tuning{Policy: s.RailPolicy, Heartbeat: s.Heartbeat}
+			if plan != nil {
+				tun.Seed = plan.Seed
+			}
+			return rail.New(eng, tun, plan, rails...)
+		},
+	}
 }
 
 // IBAPCI is the same InfiniBand platform forced onto a 64-bit/66 MHz PCI

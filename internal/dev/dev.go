@@ -164,3 +164,14 @@ type FaultPlanner interface {
 type FaultReporter interface {
 	OnFault(sink func(err error))
 }
+
+// RetryReporter is implemented by endpoints that can surface each
+// individual retransmit of their reliability protocol as it happens —
+// before the retry budget is exhausted. The rail bonding layer
+// (internal/rail) installs an observer as a passive health signal: a run
+// of consecutive retransmits without an intervening delivery marks the
+// rail suspect long before a permanent FaultReporter error would. An
+// endpoint with no fault plan never calls the observer.
+type RetryReporter interface {
+	OnRetry(observe func())
+}

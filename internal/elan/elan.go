@@ -266,6 +266,8 @@ type endpoint struct {
 
 	// sink receives permanent transfer failures (dev.FaultReporter).
 	sink func(error)
+	// onRetry observes each individual source retry (dev.RetryReporter).
+	onRetry func()
 
 	// metric handles (nil-safe no-ops when instrumentation is off)
 	nic         dev.NICCounters
@@ -277,6 +279,17 @@ type endpoint struct {
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// OnRetry implements dev.RetryReporter.
+func (ep *endpoint) OnRetry(observe func()) { ep.onRetry = observe }
+
+// retried counts one source retry and feeds the passive health observer.
+func (ep *endpoint) retried() {
+	ep.retries.Inc()
+	if ep.onRetry != nil {
+		ep.onRetry()
+	}
+}
 
 // fail reports a permanent transfer failure to the registered sink, or
 // raises it directly when the device is used without the MPI layer.
@@ -439,7 +452,7 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 				}
 				delay := elanRetry.Delay(attempt)
 				attempt++
-				ep.retries.Inc()
+				ep.retried()
 				eng.At(end+delay, func() {
 					hw := ep.net.nodes[ep.node]
 					hw.elanProc.Use(eng.Now(), elanPerMsg)

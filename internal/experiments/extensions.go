@@ -158,5 +158,7 @@ func (r *Runner) RunExtensions(w io.Writer) {
 		tabTask("Ext D", r.ExtLowLevel),
 		tabTask("Ext E", r.ExtFatTree),
 		figTask("Ext F", r.ExtFaults),
+		figTask("Ext G1", r.ExtRailLatency),
+		figTask("Ext G2", r.ExtRailBandwidth),
 	})
 }

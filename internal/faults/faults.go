@@ -23,6 +23,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mpinet/internal/metrics"
 	"mpinet/internal/units"
@@ -69,6 +70,20 @@ type Plan struct {
 	// Bursts adds bus-contention delay per operation on a node for time
 	// windows.
 	Bursts []BusBurst
+	// Degrades adds extra drop probability on matching links within time
+	// windows — a link that still works, but badly. Evaluated by the same
+	// per-link counter PRNG as the baseline rates, so degraded runs replay
+	// byte-identically.
+	Degrades []Degrade
+	// RailKills sever every link of one rail of a bonded (multi-rail)
+	// platform permanently. Consumed by Plan.Flatten: the rail layer folds
+	// each entry into a wildcard Flap on that rail's sub-plan; single-rail
+	// networks treat themselves as rail 0.
+	RailKills []RailKill
+	// RailDegrades raise one rail's drop probability within a window
+	// (brown-out rather than hard kill). Folded into Degrades by Flatten,
+	// like RailKills.
+	RailDegrades []RailDegrade
 }
 
 // LinkRule replaces the plan's baseline drop/corrupt rates on matching
@@ -100,6 +115,93 @@ type BusBurst struct {
 	Node        int
 	From, Until units.Time
 	Delay       units.Time
+}
+
+// Degrade adds Drop extra per-packet drop probability on matching links in
+// [From, Until). Src/Dst may be Wildcard. Unlike a LinkRule it composes
+// with (adds to) the baseline rather than replacing it.
+type Degrade struct {
+	Src, Dst    int
+	From, Until units.Time
+	Drop        float64
+}
+
+// RailKill takes one rail of a bonded platform hard down at At, forever —
+// the "what if a whole fabric dies mid-run" scenario. Rail indices follow
+// the order rails were passed to the bond.
+type RailKill struct {
+	Rail int
+	At   units.Time
+}
+
+// RailDegrade raises one rail's per-packet drop probability by Drop within
+// [From, Until).
+type RailDegrade struct {
+	Rail        int
+	From, Until units.Time
+	Drop        float64
+}
+
+// Forever is the Until value of a window that never closes.
+const Forever = units.Time(math.MaxInt64)
+
+// Flatten resolves the rail-level entries of a plan for one rail: RailKills
+// on that rail become wildcard Flaps from their kill time onward, and
+// RailDegrades become wildcard Degrades. The returned plan carries no
+// rail-level entries and is what a single fabric's Injector actually
+// renders; a single-rail network is its own rail 0. The seed is left
+// untouched — per-rail seed derivation (RailSeed) is the bond layer's call
+// to make, so a plan run on a solo network replays the exact draws of the
+// bond's rail 0. Returns the receiver unchanged when no entry matches.
+func (p *Plan) Flatten(rail int) *Plan {
+	if p == nil {
+		return nil
+	}
+	touched := false
+	for _, k := range p.RailKills {
+		if k.Rail == rail {
+			touched = true
+		}
+	}
+	for _, d := range p.RailDegrades {
+		if d.Rail == rail {
+			touched = true
+		}
+	}
+	if !touched && len(p.RailKills) == 0 && len(p.RailDegrades) == 0 {
+		return p
+	}
+	q := *p
+	q.Flaps = append([]Flap(nil), p.Flaps...)
+	q.Degrades = append([]Degrade(nil), p.Degrades...)
+	for _, k := range p.RailKills {
+		if k.Rail == rail {
+			q.Flaps = append(q.Flaps, Flap{Src: Wildcard, Dst: Wildcard, From: k.At, Until: Forever})
+		}
+	}
+	for _, d := range p.RailDegrades {
+		if d.Rail == rail {
+			q.Degrades = append(q.Degrades, Degrade{Src: Wildcard, Dst: Wildcard, From: d.From, Until: d.Until, Drop: d.Drop})
+		}
+	}
+	q.RailKills, q.RailDegrades = nil, nil
+	return &q
+}
+
+// RailSeed derives rail r's fault seed from a bond-level seed, so the rails
+// of one bond draw independent verdict streams even though they share node
+// indices (and therefore per-link PRNG streams). Rail 0 keeps the bond seed
+// unchanged: a bond's primary rail replays the exact packet fates of the
+// same plan run on a solo network.
+func RailSeed(seed uint64, r int) uint64 {
+	if r == 0 {
+		return seed
+	}
+	x := seed + 0x9E3779B97F4A7C15*uint64(r)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x
 }
 
 // DropPlan is the common scenario shorthand: a uniform per-packet drop
@@ -230,6 +332,11 @@ func (in *Injector) Verdict(src, dst int, now units.Time) Verdict {
 			break
 		}
 	}
+	for _, d := range in.plan.Degrades {
+		if matches(d.Src, src) && matches(d.Dst, dst) && now >= d.From && now < d.Until {
+			drop += d.Drop
+		}
+	}
 	if drop <= 0 && corrupt <= 0 {
 		return Deliver
 	}
@@ -283,6 +390,12 @@ func matches(pattern, node int) bool { return pattern == Wildcard || pattern == 
 func linkStream(src, dst int) uint64 {
 	return uint64(uint32(src))<<20 | uint64(uint32(dst))
 }
+
+// Uniform exposes the counter-based PRNG to other deterministic subsystems
+// (the rail health monitor draws its heartbeat jitter and probe targets
+// from it): a uniform float64 in [0, 1) that is a pure function of
+// (seed, stream, counter), hence identical at any -j and on any host.
+func Uniform(seed, stream, counter uint64) float64 { return prn(seed, stream, counter) }
 
 // prn is the counter-based PRNG: a splitmix64-style finalizer over
 // (seed, stream, counter), returning a uniform float64 in [0, 1). Being a

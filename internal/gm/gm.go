@@ -291,13 +291,26 @@ type endpoint struct {
 	nic  dev.NICCounters
 
 	// sink receives permanent transfer failures (dev.FaultReporter).
-	sink        func(error)
+	sink func(error)
+	// onRetry observes each individual resend (dev.RetryReporter).
+	onRetry     func()
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 }
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// OnRetry implements dev.RetryReporter.
+func (ep *endpoint) OnRetry(observe func()) { ep.onRetry = observe }
+
+// retried counts one resend and feeds the passive health observer.
+func (ep *endpoint) retried() {
+	ep.retries.Inc()
+	if ep.onRetry != nil {
+		ep.onRetry()
+	}
+}
 
 // fail reports a permanent transfer failure to the registered sink, or
 // raises it directly when the device is used without the MPI layer.
@@ -437,7 +450,7 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 				}
 				delay := gmRetry.Delay(attempt)
 				attempt++
-				ep.retries.Inc()
+				ep.retried()
 				eng.At(end+delay, func() {
 					src.lanai.Use(eng.Now(), ackProcess)
 					try(eng.Now())

@@ -101,7 +101,7 @@ func TestNewWorldValidation(t *testing.T) {
 		cfg  Config
 		want string
 	}{
-		{"nil net", Config{Procs: 2}, "Net is nil"},
+		{"nil net", Config{Procs: 2}, "Config.Net"},
 		{"no procs", Config{Net: cluster.IBA().New(2), Procs: 0}, "Procs"},
 		{"negative ppn", Config{Net: cluster.IBA().New(2), Procs: 2, ProcsPerNode: -1}, "ProcsPerNode"},
 		{"overcommit", Config{Net: cluster.IBA().New(2), Procs: 5, ProcsPerNode: 2}, "5"},

@@ -59,18 +59,33 @@ type Config struct {
 	Timeout sim.Time
 }
 
+// ConfigError is a Config validation failure attributed to the option
+// (the Config field) that caused it, so MustWorld panics — and programmatic
+// callers report — with the offending knob named instead of just a symptom.
+type ConfigError struct {
+	// Option is the Config field name ("Net", "Procs", "ProcsPerNode").
+	Option string
+	// Reason describes what is wrong with the option's value.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("mpi: invalid Config.%s: %s", e.Option, e.Reason)
+}
+
 // Validate reports the first problem that would make this configuration
-// unrunnable, or nil. NewWorld calls it; it is exported so callers can
-// pre-flight configurations they assemble programmatically.
+// unrunnable — always a *ConfigError naming the offending option — or nil.
+// NewWorld and MustWorld call it; it is exported so callers can pre-flight
+// configurations they assemble programmatically.
 func (cfg Config) Validate() error {
 	if cfg.Net == nil {
-		return fmt.Errorf("mpi: WorldConfig.Net is nil — build a network first, e.g. mpinet.InfiniBand().New(8)")
+		return &ConfigError{Option: "Net", Reason: "nil — build a network first, e.g. mpinet.InfiniBand().New(8)"}
 	}
 	if cfg.Procs < 1 {
-		return fmt.Errorf("mpi: Procs = %d; an MPI job needs at least one rank", cfg.Procs)
+		return &ConfigError{Option: "Procs", Reason: fmt.Sprintf("%d; an MPI job needs at least one rank", cfg.Procs)}
 	}
 	if cfg.ProcsPerNode < 0 {
-		return fmt.Errorf("mpi: ProcsPerNode = %d; must be >= 0 (0 means the default of 1)", cfg.ProcsPerNode)
+		return &ConfigError{Option: "ProcsPerNode", Reason: fmt.Sprintf("%d; must be >= 0 (0 means the default of 1)", cfg.ProcsPerNode)}
 	}
 	ppn := cfg.ProcsPerNode
 	if ppn < 1 {
@@ -78,8 +93,8 @@ func (cfg Config) Validate() error {
 	}
 	nodes := cfg.Net.Nodes()
 	if cfg.Procs > nodes*ppn {
-		return fmt.Errorf("mpi: %d procs do not fit on %d nodes x %d procs/node — raise ProcsPerNode or use a larger platform",
-			cfg.Procs, nodes, ppn)
+		return &ConfigError{Option: "Procs", Reason: fmt.Sprintf("%d procs do not fit on %d nodes x %d procs/node — raise ProcsPerNode or use a larger platform",
+			cfg.Procs, nodes, ppn)}
 	}
 	return nil
 }
@@ -174,10 +189,16 @@ func NewWorld(cfg Config) (*World, error) {
 
 // MustWorld is NewWorld for configurations known to be valid; it panics on
 // a validation error. The internal benchmark and experiment suites use it.
+// It re-validates through Config.Validate first so the panic message names
+// the offending option ("mpi.MustWorld: invalid Config.Procs: ...") rather
+// than surfacing a symptom from deeper in world construction.
 func MustWorld(cfg Config) *World {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("mpi.MustWorld: %v", err))
+	}
 	w, err := NewWorld(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("mpi.MustWorld: %v", err))
 	}
 	return w
 }

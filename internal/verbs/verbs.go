@@ -286,6 +286,8 @@ type endpoint struct {
 
 	// sink receives permanent transfer failures (dev.FaultReporter).
 	sink func(error)
+	// onRetry observes each individual retransmit (dev.RetryReporter).
+	onRetry func()
 
 	// metric handles (nil-safe no-ops when instrumentation is off)
 	nic         dev.NICCounters
@@ -296,6 +298,17 @@ type endpoint struct {
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
+
+// OnRetry implements dev.RetryReporter.
+func (ep *endpoint) OnRetry(observe func()) { ep.onRetry = observe }
+
+// retried counts one retransmit and feeds the passive health observer.
+func (ep *endpoint) retried() {
+	ep.retries.Inc()
+	if ep.onRetry != nil {
+		ep.onRetry()
+	}
+}
 
 // fail reports a permanent transfer failure to the registered sink. With
 // no sink (device used bare, without the MPI layer) the error is raised
@@ -436,7 +449,7 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 				}
 				delay := rcRetry.Delay(attempt)
 				attempt++
-				ep.retries.Inc()
+				ep.retried()
 				eng.At(end+delay, func() { try(eng.Now()) })
 			})
 	}

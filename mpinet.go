@@ -46,6 +46,20 @@
 // errors.Is(err, mpinet.ErrTimeout) for a starved wait. See docs/MODEL.md
 // §12 for the fault model.
 //
+// Two or three interconnects can be bonded into one multi-rail channel with
+// health monitoring and automatic inter-fabric failover (docs/MODEL.md §13):
+//
+//	bond := mpinet.Bond(mpinet.InfiniBand(), mpinet.Myrinet())
+//	striped := bond.With(mpinet.WithRailPolicy(mpinet.Stripe))
+//	killed := bond.With(mpinet.WithFaults(&mpinet.FaultPlan{
+//		Seed:      42,
+//		RailKills: []mpinet.RailKill{{Rail: 0, At: 5 * mpinet.Millisecond}},
+//	}))
+//
+// A job on killed completes — in-flight traffic is re-issued on the Myrinet
+// rail when InfiniBand dies — and only fails (with
+// errors.Is(err, mpinet.ErrAllRailsDown)) when every rail is dead.
+//
 // The full paper reproduction lives in cmd/paperrepro; see DESIGN.md for
 // the model inventory and EXPERIMENTS.md for paper-vs-simulated results.
 package mpinet
@@ -59,6 +73,7 @@ import (
 	"mpinet/internal/metrics"
 	"mpinet/internal/microbench"
 	"mpinet/internal/mpi"
+	"mpinet/internal/rail"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 	"mpinet/internal/units"
@@ -120,6 +135,28 @@ type (
 	NICStall = faults.Stall
 	// BusBurst is a bus-contention window of a FaultPlan.
 	BusBurst = faults.BusBurst
+	// RailPolicy selects how a bonded channel spreads traffic over its
+	// rails (Failover or Stripe).
+	RailPolicy = rail.Policy
+	// RailKill is a FaultPlan entry taking one rail of a bonded platform
+	// permanently down at an instant.
+	RailKill = faults.RailKill
+	// RailDegrade is a FaultPlan entry black- or brown-outing one rail of a
+	// bonded platform for a window.
+	RailDegrade = faults.RailDegrade
+)
+
+// Bond policies and time units for fault-plan and bond tuning fields.
+const (
+	// Failover sends on the best healthy rail and migrates on failure.
+	Failover = rail.Failover
+	// Stripe splits large messages across all healthy rails.
+	Stripe = rail.Stripe
+
+	// Microsecond is one simulated microsecond.
+	Microsecond = units.Microsecond
+	// Millisecond is one simulated millisecond.
+	Millisecond = units.Millisecond
 )
 
 // Typed errors for World.Run and RunApp failures; match with errors.Is.
@@ -136,6 +173,9 @@ var (
 	// ErrTimeout marks a blocking MPI operation that made no progress
 	// within the watchdog interval of a faulty run.
 	ErrTimeout = mpi.ErrTimeout
+	// ErrAllRailsDown marks a bonded channel whose every rail is dead; it
+	// also matches ErrRetryExhausted, since that is how the last rail died.
+	ErrAllRailsDown = rail.ErrAllRailsDown
 )
 
 // DropPlan returns a fault plan with a uniform per-packet drop probability
@@ -169,6 +209,13 @@ func WithFaults(plan *FaultPlan) Option { return cluster.WithFaults(plan) }
 
 // WithSeed overrides the fault plan's seed.
 func WithSeed(seed uint64) Option { return cluster.WithSeed(seed) }
+
+// WithRailPolicy selects a bonded platform's traffic policy (Failover or
+// Stripe); it has no effect on solo platforms.
+func WithRailPolicy(p RailPolicy) Option { return cluster.WithRailPolicy(p) }
+
+// WithHeartbeat overrides a bonded platform's health-probe interval.
+func WithHeartbeat(d Time) Option { return cluster.WithHeartbeat(d) }
 
 // WithProcsPerNode sets ranks per node (the paper's SMP configuration).
 func WithProcsPerNode(n int) Option { return cluster.WithProcsPerNode(n) }
@@ -222,6 +269,13 @@ func Quadrics() Platform { return cluster.QSN() }
 
 // Topspin returns the 16-node Topspin InfiniBand cluster of Section 4.2.
 func Topspin() Platform { return cluster.Topspin() }
+
+// Bond attaches 2-3 interconnects beneath one multi-rail MPI channel with
+// health monitoring and automatic failover; the first member is the
+// preferred rail. See docs/MODEL.md §13.
+func Bond(primary Platform, others ...Platform) Platform {
+	return cluster.Bond(primary, others...)
+}
 
 // InfiniBandOnDemand is InfiniBand with on-demand connection management —
 // the memory-usage fix the paper's Section 3.8 points to.

@@ -1,0 +1,52 @@
+package mpinet
+
+import (
+	"errors"
+	"testing"
+)
+
+// The package-doc bonding example must work through the facade alone: a
+// bonded world survives its primary dying mid-run, and only an all-rails
+// kill surfaces ErrAllRailsDown.
+func TestFacadeBondFailsOverAndFailsTyped(t *testing.T) {
+	bond := Bond(InfiniBand(), Myrinet())
+	if bond.Name != "IBA+Myri" {
+		t.Fatalf("bond name = %q, want IBA+Myri", bond.Name)
+	}
+	if got := bond.With(WithRailPolicy(Stripe)).Name; got != "IBA+Myri-stripe" {
+		t.Fatalf("stripe bond name = %q", got)
+	}
+
+	// Long enough (~16 ms healthy) that the 2 ms rail kill lands mid-run.
+	ring := func(r *Rank) {
+		buf := r.Malloc(32 * 1024)
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 200; i++ {
+			r.Sendrecv(buf, next, i, buf, prev, i)
+		}
+	}
+	run := func(p Platform) error {
+		w, err := NewWorld(WorldConfig{Net: p.New(4), Procs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run(ring)
+	}
+
+	killPrimary := bond.With(WithFaults(&FaultPlan{Seed: 42,
+		RailKills: []RailKill{{Rail: 0, At: 2 * Millisecond}}}))
+	if err := run(killPrimary); err != nil {
+		t.Fatalf("bonded run did not survive a primary-rail kill: %v", err)
+	}
+
+	killAll := bond.With(WithFaults(&FaultPlan{Seed: 42, RailKills: []RailKill{
+		{Rail: 0, At: 2 * Millisecond}, {Rail: 1, At: 2 * Millisecond}}}))
+	err := run(killAll)
+	if !errors.Is(err, ErrAllRailsDown) {
+		t.Fatalf("all-rails kill: err %v is not ErrAllRailsDown", err)
+	}
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("all-rails kill: err %v is not also ErrRetryExhausted", err)
+	}
+}

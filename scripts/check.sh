@@ -4,7 +4,7 @@
 # be byte-identical between -j 1 and -j N, and two identical instrumented
 # runs must produce byte-identical metrics snapshots and Chrome traces.
 #
-# Usage: check.sh [-short] [-full] [-j N] [-faults] [-seed N]
+# Usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]
 #
 #   -short   pass -short to go test (the CI race-shard budget: quick-mode
 #            suites only, minutes-long class B gates skipped)
@@ -14,7 +14,10 @@
 #            (default 8)
 #   -faults  also run the fault-injection smoke (all three interconnects,
 #            healthy and 1% drop) and its seeded-replay determinism check
-#   -seed N  fault-plan seed for -faults (default 0 = the committed seed)
+#   -rail    also run the multi-rail failover smoke (bonded pairs x
+#            {failover, stripe}) and its seeded-replay determinism check
+#   -seed N  fault-plan seed for -faults/-rail (default 0 = the committed
+#            seed)
 #
 # The default (no flags) runs the full test suite with a 30m timeout; since
 # the experiment suite parallelizes across cores, this fits comfortably on
@@ -26,6 +29,7 @@ short=""
 timeout=30m
 jobs=8
 faults=""
+railsmoke=""
 seed=0
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -36,12 +40,13 @@ while [ $# -gt 0 ]; do
         jobs="$1"
         ;;
     -faults) faults=1 ;;
+    -rail) railsmoke=1 ;;
     -seed)
         shift
         seed="$1"
         ;;
     *)
-        echo "usage: check.sh [-short] [-full] [-j N] [-faults] [-seed N]" >&2
+        echo "usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]" >&2
         exit 2
         ;;
     esac
@@ -97,6 +102,26 @@ if [ -n "$faults" ]; then
         exit 1
     }
     echo "fault smoke passed; seeded run byte-identical across replays"
+fi
+
+if [ -n "$railsmoke" ]; then
+    echo "== multi-rail failover smoke =="
+    # Every bonded pair must survive its primary dying at 50% of LU under
+    # both policies (the solo control failing typed is asserted inside)...
+    for pair in IBA+Myri IBA+QSN Myri+QSN; do
+        for policy in failover stripe; do
+            "$tmp/paperrepro" -railfail -railpair "$pair" -railpolicy "$policy" \
+                -seed "$seed" >"$tmp/rail_${pair}_${policy}.txt"
+        done
+    done
+    # ...and the seeded failover cascade must replay byte-identically.
+    "$tmp/paperrepro" -railfail -railpair IBA+Myri -railpolicy failover \
+        -seed "$seed" >"$tmp/rail_replay.txt"
+    cmp "$tmp/rail_IBA+Myri_failover.txt" "$tmp/rail_replay.txt" || {
+        echo "FAIL: seeded rail-failover run differs between identical replays" >&2
+        exit 1
+    }
+    echo "rail smoke passed; seeded failover byte-identical across replays"
 fi
 
 echo "OK"
