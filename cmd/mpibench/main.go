@@ -28,6 +28,7 @@ import (
 	"mpinet/internal/cluster"
 	"mpinet/internal/experiments"
 	"mpinet/internal/microbench"
+	"mpinet/internal/profiling"
 	"mpinet/internal/report"
 )
 
@@ -42,57 +43,62 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
 	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
 	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
 
-	if *metricsOut != "" || *traceOut != "" {
-		if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "mpibench:", err)
-			os.Exit(1)
+	os.Exit(profiling.Run(*cpuProfile, *memProfile, "mpibench", func() int {
+		if *metricsOut != "" || *traceOut != "" {
+			if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "mpibench:", err)
+				return 1
+			}
+			return 0
 		}
-		return
-	}
 
-	if *logp {
-		fmt.Println("LogGP parameters (Culler et al. model, extracted per the")
-		fmt.Println("paper's related-work methodology):")
-		for _, p := range cluster.OSU() {
-			fmt.Println(" ", microbench.LogP(p))
+		if *logp {
+			fmt.Println("LogGP parameters (Culler et al. model, extracted per the")
+			fmt.Println("paper's related-work methodology):")
+			for _, p := range cluster.OSU() {
+				fmt.Println(" ", microbench.LogP(p))
+			}
+			return 0
 		}
-		return
-	}
 
-	var log *os.File
-	if *verbose {
-		log = os.Stderr
-	}
-	r := experiments.NewRunner(*quick, log)
-	r.Jobs = *jobs
+		var log *os.File
+		if *verbose {
+			log = os.Stderr
+		}
+		r := experiments.NewRunner(*quick, log)
+		r.Jobs = *jobs
 
-	if *fig == 0 {
-		r.RunMicro(os.Stdout)
-		fmt.Println(report.RenderComparisons(
-			"Paper-vs-simulated anchors (Section 3 quotes)", r.MicroComparisons(), 0.15))
-		return
-	}
-	figs := map[int]func() report.Figure{
-		1: r.Fig1, 2: r.Fig2, 3: r.Fig3, 4: r.Fig4, 5: r.Fig5, 6: r.Fig6,
-		7: r.Fig7, 8: r.Fig8, 9: r.Fig9, 10: r.Fig10, 11: r.Fig11,
-		12: r.Fig12, 13: r.Fig13, 26: r.Fig26, 27: r.Fig27,
-	}
-	f, ok := figs[*fig]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mpibench: no micro-benchmark figure %d\n", *fig)
-		os.Exit(2)
-	}
-	if *plot {
-		fmt.Println(f().Plot(64, 18))
-		return
-	}
-	if *csv {
-		fmt.Print(f().CSV())
-		return
-	}
-	fmt.Println(f().Render())
+		if *fig == 0 {
+			r.RunMicro(os.Stdout)
+			fmt.Println(report.RenderComparisons(
+				"Paper-vs-simulated anchors (Section 3 quotes)", r.MicroComparisons(), 0.15))
+			return 0
+		}
+		figs := map[int]func() report.Figure{
+			1: r.Fig1, 2: r.Fig2, 3: r.Fig3, 4: r.Fig4, 5: r.Fig5, 6: r.Fig6,
+			7: r.Fig7, 8: r.Fig8, 9: r.Fig9, 10: r.Fig10, 11: r.Fig11,
+			12: r.Fig12, 13: r.Fig13, 26: r.Fig26, 27: r.Fig27,
+		}
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpibench: no micro-benchmark figure %d\n", *fig)
+			return 2
+		}
+		if *plot {
+			fmt.Println(f().Plot(64, 18))
+			return 0
+		}
+		if *csv {
+			fmt.Print(f().CSV())
+			return 0
+		}
+		fmt.Println(f().Render())
+		return 0
+	}))
 }
 
 // runObserved executes the instrumented demo workload and writes the

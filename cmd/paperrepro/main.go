@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"mpinet/internal/experiments"
+	"mpinet/internal/profiling"
 	"mpinet/internal/report"
 	"mpinet/internal/sim"
 )
@@ -74,68 +75,101 @@ func main() {
 	railRun := flag.Bool("railfail", false, "run the rail-failover smoke (LU class S on a bonded pair, primary killed mid-run) and exit")
 	railPair := flag.String("railpair", "IBA+Myri", "bonded pair for -railfail (2-3 of IBA, Myri, QSN joined by +)")
 	railPolicy := flag.String("railpolicy", "failover", "bond policy for -railfail (failover or stripe)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
 
-	if *railRun {
-		if err := experiments.RailFailSmoke(os.Stdout, *railPair, *railPolicy, *seed); err != nil {
+	os.Exit(profiling.Run(*cpuProfile, *memProfile, "paperrepro", func() int {
+		return run(runOpts{
+			out: *out, quick: *quick, jobs: *jobs, benchOut: *benchOut,
+			csvDir: *csvDir, metricsOut: *metricsOut, traceOut: *traceOut,
+			obsNet: *obsNet, faultsRun: *faultsRun, dropRate: *dropRate,
+			seed: *seed, faultNet: *faultNet, railRun: *railRun,
+			railPair: *railPair, railPolicy: *railPolicy,
+		})
+	}))
+}
+
+type runOpts struct {
+	out        string
+	quick      bool
+	jobs       int
+	benchOut   string
+	csvDir     string
+	metricsOut string
+	traceOut   string
+	obsNet     string
+	faultsRun  bool
+	dropRate   float64
+	seed       uint64
+	faultNet   string
+	railRun    bool
+	railPair   string
+	railPolicy string
+}
+
+func run(o runOpts) int {
+	if o.railRun {
+		if err := experiments.RailFailSmoke(os.Stdout, o.railPair, o.railPolicy, o.seed); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	if *faultsRun {
+	if o.faultsRun {
 		nets := []string{"IBA", "Myri", "QSN"}
-		if *faultNet != "" {
-			nets = []string{*faultNet}
+		if o.faultNet != "" {
+			nets = []string{o.faultNet}
 		}
 		for _, net := range nets {
-			if err := experiments.FaultSmoke(os.Stdout, net, *dropRate, *seed); err != nil {
+			if err := experiments.FaultSmoke(os.Stdout, net, o.dropRate, o.seed); err != nil {
 				fmt.Fprintln(os.Stderr, "paperrepro:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
-	if *metricsOut != "" || *traceOut != "" {
-		if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
+	if o.metricsOut != "" || o.traceOut != "" {
+		if err := runObserved(o.obsNet, o.metricsOut, o.traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	r := experiments.NewRunner(*quick, os.Stderr)
-	r.Jobs = *jobs
+	r := experiments.NewRunner(o.quick, os.Stderr)
+	r.Jobs = o.jobs
 	start := time.Now()
 
-	if *csvDir != "" {
-		if err := writeCSVs(r, *csvDir); err != nil {
+	if o.csvDir != "" {
+		if err := writeCSVs(r, o.csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "paperrepro: wrote CSVs to %s\n", *csvDir)
+		fmt.Fprintf(os.Stderr, "paperrepro: wrote CSVs to %s\n", o.csvDir)
 	}
 
 	var b bytes.Buffer
-	write(&b, r, *quick)
+	write(&b, r, o.quick)
 
-	if *out == "-" {
+	if o.out == "-" {
 		fmt.Print(b.String())
-	} else if err := os.WriteFile(*out, b.Bytes(), 0o644); err != nil {
+	} else if err := os.WriteFile(o.out, b.Bytes(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(1)
+		return 1
 	} else {
-		fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", *out)
+		fmt.Fprintf(os.Stderr, "paperrepro: wrote %s\n", o.out)
 	}
 
-	if *benchOut != "" {
-		if err := writeBenchJSON(*benchOut, r, *jobs, time.Since(start)); err != nil {
+	if o.benchOut != "" {
+		if err := writeBenchJSON(o.benchOut, r, o.jobs, time.Since(start)); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // benchRecord is the host-performance record -benchjson emits: how fast the

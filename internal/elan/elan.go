@@ -275,6 +275,11 @@ type endpoint struct {
 	matches     *metrics.Counter
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
+
+	// Per-destination path caches: routing is static, but the stage list
+	// has two variants because PIO-sized sends skip the sender bus DMA.
+	pathsPIO [][]fabric.PathStage // size <= pioMax
+	pathsDMA [][]fabric.PathStage // size > pioMax
 }
 
 // OnFault implements dev.FaultReporter.
@@ -386,11 +391,29 @@ func (l elanStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 	return l.st.Use(now, elanPerMsg)
 }
 
-// path assembles the staged path to dst. Small sends skip the sender-side
-// bus DMA (the host PIO-copied into Elan SDRAM already, billed in
+// path returns the staged path to dst, assembled once per (destination,
+// PIO-or-DMA) variant and cached.
+func (ep *endpoint) path(dst int, size int64) []fabric.PathStage {
+	cache := &ep.pathsPIO
+	if size > pioMax {
+		cache = &ep.pathsDMA
+	}
+	if *cache == nil {
+		*cache = make([][]fabric.PathStage, len(ep.net.nodes))
+	}
+	if p := (*cache)[dst]; p != nil {
+		return p
+	}
+	p := ep.buildPath(dst, size)
+	(*cache)[dst] = p
+	return p
+}
+
+// buildPath assembles the staged path to dst. Small sends skip the sender-
+// side bus DMA (the host PIO-copied into Elan SDRAM already, billed in
 // SendOverhead). Same-node traffic loops through the NIC, crossing the
 // node's PCI bus twice.
-func (ep *endpoint) path(dst int, size int64) []fabric.PathStage {
+func (ep *endpoint) buildPath(dst int, size int64) []fabric.PathStage {
 	src := ep.net.nodes[ep.node]
 	var stages []fabric.PathStage
 	if size > pioMax {

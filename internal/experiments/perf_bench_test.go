@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"mpinet/internal/sim"
+)
+
+// BenchmarkSuiteEventsPerSec runs the quick figure suite end to end —
+// micro-benchmarks, applications, extensions — and reports simulation event
+// throughput. This is the macro number the engine overhaul targets and the
+// one CI's perf-smoke job tracks against the committed BENCH_engine.json
+// baseline: micro-benchmarks can miss regressions that only appear under
+// the real mix of park/wake, timers, chunk pipelines and metric updates.
+func BenchmarkSuiteEventsPerSec(b *testing.B) {
+	start := sim.TotalDispatched()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		r := NewRunner(true, nil)
+		r.Jobs = 1
+		r.RunMicro(io.Discard)
+		r.RunApps(io.Discard)
+		r.RunExtensions(io.Discard)
+	}
+	b.StopTimer()
+	events := sim.TotalDispatched() - start
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

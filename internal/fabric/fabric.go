@@ -122,6 +122,45 @@ type PathStage struct {
 	Latency sim.Time
 }
 
+// xfer is one in-flight Transfer: a typed event handler whose (ci, stage)
+// arguments drive the chunk pipeline, so the steady state — every chunk
+// through every stage — schedules events without allocating. stage ==
+// len(path) is the completion sentinel. The struct itself is the only heap
+// allocation per message.
+type xfer struct {
+	e       *sim.Engine
+	path    []PathStage
+	done    func(end sim.Time)
+	chunk   int64
+	last    int64
+	nchunks int64
+}
+
+// HandleEvent implements sim.Handler: chunk ci reached stage, occupy it and
+// self-clock the successors.
+func (x *xfer) HandleEvent(ci, stage int64) {
+	if stage == int64(len(x.path)) {
+		x.done(x.e.Now())
+		return
+	}
+	n := x.chunk
+	if ci == x.nchunks-1 {
+		n = x.last
+	}
+	st := x.path[stage]
+	_, end := st.Stage.Send(x.e.Now(), n)
+	arrive := end + st.Latency
+	if stage == 0 && ci+1 < x.nchunks {
+		// Self-clock the next chunk into the head of the path.
+		x.e.CallAt(end, x, ci+1, 0)
+	}
+	if stage+1 < int64(len(x.path)) {
+		x.e.CallAt(arrive, x, ci, stage+1)
+	} else if ci == x.nchunks-1 {
+		x.e.CallAt(arrive, x, ci, stage+1) // sentinel: completion
+	}
+}
+
 // Transfer pushes size bytes through the staged path as a cut-through
 // pipeline of chunks, starting at time start, and calls done(end) when the
 // last chunk clears the last stage. chunk is the pipelining granularity;
@@ -136,38 +175,23 @@ func Transfer(e *sim.Engine, path []PathStage, size, chunk int64, start sim.Time
 		panic("fabric: non-positive chunk")
 	}
 	if len(path) == 0 {
-		e.At(start, func() { done(e.Now()) })
+		x := &xfer{e: e, done: done}
+		e.CallAt(start, x, 0, 0) // stage 0 == len(path): immediate completion
 		return
 	}
 	if size <= 0 {
 		size = 1 // control messages still occupy the path minimally
 	}
-	// Build the chunk list.
 	nchunks := (size + chunk - 1) / chunk
-	last := size - (nchunks-1)*chunk
-
-	var submit func(ci int64, stage int, at sim.Time)
-	submit = func(ci int64, stage int, at sim.Time) {
-		n := chunk
-		if ci == nchunks-1 {
-			n = last
-		}
-		st := path[stage]
-		e.At(at, func() {
-			_, end := st.Stage.Send(e.Now(), n)
-			arrive := end + st.Latency
-			if stage == 0 && ci+1 < nchunks {
-				// Self-clock the next chunk into the head of the path.
-				submit(ci+1, 0, end)
-			}
-			if stage+1 < len(path) {
-				submit(ci, stage+1, arrive)
-			} else if ci == nchunks-1 {
-				e.At(arrive, func() { done(e.Now()) })
-			}
-		})
+	x := &xfer{
+		e:       e,
+		path:    path,
+		done:    done,
+		chunk:   chunk,
+		last:    size - (nchunks-1)*chunk,
+		nchunks: nchunks,
 	}
-	submit(0, 0, start)
+	e.CallAt(start, x, 0, 0)
 }
 
 // DefaultChunk is the pipelining granularity used by the NIC models for

@@ -274,10 +274,12 @@ func (e *LinkError) Unwrap() error { return ErrRetryExhausted }
 // path entirely.
 type Injector struct {
 	plan Plan
-	// count is the per-link packet ordinal driving the counter PRNG. The
-	// map is only ever indexed, never iterated, so it cannot perturb
-	// determinism.
-	count map[[2]int]uint64
+	// links caches per-link resolved state (rates after LinkRule matching,
+	// this link's flap/degrade windows, the PRNG stream id and packet
+	// ordinal), so the per-packet Verdict path scans only windows that can
+	// ever apply to the link instead of the whole plan. The map is only
+	// ever indexed, never iterated, so it cannot perturb determinism.
+	links map[[2]int]*linkState
 
 	// counters (nil-safe until Instrument binds them)
 	packets   *metrics.Counter
@@ -286,13 +288,51 @@ type Injector struct {
 	flapDrops *metrics.Counter
 }
 
+// linkState is one directed link's resolved fault state.
+type linkState struct {
+	n        uint64 // per-link packet ordinal driving the counter PRNG
+	stream   uint64
+	drop     float64 // baseline or first-matching LinkRule rate
+	corrupt  float64
+	flaps    []Flap    // plan windows matching this link, in plan order
+	degrades []Degrade // ditto
+}
+
 // NewInjector builds the injector for a plan; nil plan gives a nil (inert)
 // injector.
 func NewInjector(p *Plan) *Injector {
 	if p == nil {
 		return nil
 	}
-	return &Injector{plan: *p, count: make(map[[2]int]uint64)}
+	return &Injector{plan: *p, links: make(map[[2]int]*linkState)}
+}
+
+// resolve builds the per-link state on first contact. Rule matching order
+// is exactly Verdict's former per-packet order, so the resolved state
+// renders identical verdict sequences.
+func (in *Injector) resolve(src, dst int) *linkState {
+	ls := &linkState{
+		stream:  linkStream(src, dst),
+		drop:    in.plan.Drop,
+		corrupt: in.plan.Corrupt,
+	}
+	for _, r := range in.plan.Links {
+		if matches(r.Src, src) && matches(r.Dst, dst) {
+			ls.drop, ls.corrupt = r.Drop, r.Corrupt
+			break
+		}
+	}
+	for _, f := range in.plan.Flaps {
+		if matches(f.Src, src) && matches(f.Dst, dst) {
+			ls.flaps = append(ls.flaps, f)
+		}
+	}
+	for _, d := range in.plan.Degrades {
+		if matches(d.Src, src) && matches(d.Dst, dst) {
+			ls.degrades = append(ls.degrades, d)
+		}
+	}
+	return ls
 }
 
 // Plan returns the plan the injector renders, or nil on a nil injector.
@@ -319,31 +359,32 @@ func (in *Injector) Instrument(m *metrics.Registry) {
 // must invoke it exactly once per transfer attempt.
 func (in *Injector) Verdict(src, dst int, now units.Time) Verdict {
 	in.packets.Inc()
-	for _, f := range in.plan.Flaps {
-		if matches(f.Src, src) && matches(f.Dst, dst) && now >= f.From && now < f.Until {
+	key := [2]int{src, dst}
+	ls := in.links[key]
+	if ls == nil {
+		ls = in.resolve(src, dst)
+		in.links[key] = ls
+	}
+	for _, f := range ls.flaps {
+		if now >= f.From && now < f.Until {
 			in.flapDrops.Inc()
 			return Drop
 		}
 	}
-	drop, corrupt := in.plan.Drop, in.plan.Corrupt
-	for _, r := range in.plan.Links {
-		if matches(r.Src, src) && matches(r.Dst, dst) {
-			drop, corrupt = r.Drop, r.Corrupt
-			break
-		}
-	}
-	for _, d := range in.plan.Degrades {
-		if matches(d.Src, src) && matches(d.Dst, dst) && now >= d.From && now < d.Until {
+	drop, corrupt := ls.drop, ls.corrupt
+	for _, d := range ls.degrades {
+		if now >= d.From && now < d.Until {
 			drop += d.Drop
 		}
 	}
 	if drop <= 0 && corrupt <= 0 {
+		// No draw consumed: a healthy link's ordinal must not advance, so a
+		// plan that later degrades the link replays identically.
 		return Deliver
 	}
-	key := [2]int{src, dst}
-	n := in.count[key]
-	in.count[key] = n + 1
-	u := prn(in.plan.Seed, linkStream(src, dst), n)
+	n := ls.n
+	ls.n = n + 1
+	u := prn(in.plan.Seed, ls.stream, n)
 	switch {
 	case u < drop:
 		in.drops.Inc()

@@ -296,6 +296,10 @@ type endpoint struct {
 	onRetry     func()
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
+
+	// paths caches the assembled per-destination staged path: the route
+	// through LANai, DMA engines and the crossbar is static per (src, dst).
+	paths [][]fabric.PathStage
 }
 
 // OnFault implements dev.FaultReporter.
@@ -365,10 +369,24 @@ func (l lanaiStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 	return l.st.Use(now, lanaiPerMsg)
 }
 
-// path assembles the staged path to dst. The LANai engine appears once per
-// side per message (envelope processing); payload chunks flow through the
-// per-direction DMA engines and the link.
+// path returns the staged path to dst, assembled once per destination and
+// cached.
 func (ep *endpoint) path(dst int) []fabric.PathStage {
+	if ep.paths == nil {
+		ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+	}
+	if p := ep.paths[dst]; p != nil {
+		return p
+	}
+	p := ep.buildPath(dst)
+	ep.paths[dst] = p
+	return p
+}
+
+// buildPath assembles the staged path to dst. The LANai engine appears once
+// per side per message (envelope processing); payload chunks flow through
+// the per-direction DMA engines and the link.
+func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	src := ep.net.nodes[ep.node]
 	if dst == ep.node {
 		return []fabric.PathStage{

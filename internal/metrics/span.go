@@ -51,3 +51,31 @@ func (r *Registry) SpanDropped() int64 {
 	}
 	return r.spanDropped
 }
+
+// SpanTrack is a pre-resolved span template for one fixed (node, track,
+// name, cat) lane, captured at wiring time so recording a job on a hot path
+// is a struct copy plus an append — no per-event field assembly. Same
+// design rule as counter/timer handles: resolve once, emit many.
+type SpanTrack struct {
+	r    *Registry
+	tmpl Span
+}
+
+// Track returns a pre-resolved emitter for the given lane, or nil on a nil
+// registry; Emit is nil-safe, so wiring code needs no guards.
+func (r *Registry) Track(node int, track, name, cat string) *SpanTrack {
+	if r == nil {
+		return nil
+	}
+	return &SpanTrack{r: r, tmpl: Span{Node: node, Track: track, Name: name, Cat: cat}}
+}
+
+// Emit logs one interval on the track. No-op on a nil SpanTrack.
+func (t *SpanTrack) Emit(start, end units.Time, size int64) {
+	if t == nil {
+		return
+	}
+	s := t.tmpl
+	s.Start, s.End, s.Size = start, end, size
+	t.r.Span(s)
+}

@@ -32,6 +32,11 @@ type procState struct {
 	hostBusy sim.Time
 	sendSeq  int64
 
+	// waitWhy is the rank's default wait reason ("rank<N>:wait"), built
+	// once: waitOne runs on every blocking completion, and formatting the
+	// same string there dominated the MPI layer's allocation profile.
+	waitWhy string
+
 	// quiet suppresses point-to-point profiling while a collective runs so
 	// the profile records the collective call, not its decomposition.
 	quiet bool

@@ -164,7 +164,7 @@ func (r *Rank) Sendrecv(sendBuf memreg.Buf, dst, sendTag int, recvBuf memreg.Buf
 }
 
 func (r *Rank) waitOne(req *Request) Status {
-	why := fmt.Sprintf("rank%d:wait", r.ps.rank)
+	why := r.ps.waitWhy
 	if r.ps.world.cfg.Timeout > 0 {
 		// With the watchdog armed, spend a little on a descriptive wait
 		// reason so a TimeoutError names the stuck operation and peer.

@@ -171,6 +171,7 @@ func NewWorld(cfg Config) (*World, error) {
 			as:       memreg.NewAddressSpace(),
 			prof:     trace.New(),
 			splitGen: make(map[int]int),
+			waitWhy:  fmt.Sprintf("rank%d:wait", r),
 		}
 		ps.bindMetrics(w.met)
 		// Route permanent device failures (retry exhaustion under a fault

@@ -1,0 +1,51 @@
+// Package profiling wraps a command's main body with optional pprof
+// CPU/allocation profile collection, so every binary exposes the same
+// -cpuprofile/-memprofile workflow (see README "Profiling").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Run executes body between profile bookends and returns its exit code.
+// Profiles are only written when the corresponding path is non-empty, so an
+// unprofiled run pays nothing. tag prefixes diagnostics ("paperrepro",
+// "mpibench").
+func Run(cpuPath, memPath, tag string, body func() int) int {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tag, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tag, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "%s: wrote %s\n", tag, cpuPath)
+		}()
+	}
+	if memPath != "" {
+		defer func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", tag, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", tag, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "%s: wrote %s\n", tag, memPath)
+		}()
+	}
+	return body()
+}

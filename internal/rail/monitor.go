@@ -87,16 +87,19 @@ func (m *monitor) arm() {
 }
 
 // schedule queues the next tick one heartbeat (plus seeded jitter, so
-// co-bonded rails do not probe in lockstep) from now.
+// co-bonded rails do not probe in lockstep) from now. The monitor is its
+// own typed event handler, so the recurring tick never allocates a
+// closure (or a method value, which also heap-allocates).
 func (m *monitor) schedule() {
 	t := m.net.tun
 	jitter := sim.Time(faults.Uniform(m.seed, 1, m.tick) * float64(t.Heartbeat) / 8)
-	m.net.eng.Schedule(t.Heartbeat+jitter, m.tickFn)
+	m.net.eng.Call(t.Heartbeat+jitter, m, 0, 0)
 }
 
-// tickFn is one heartbeat: decide whether to disarm, scan for stalled
-// in-flight operations, launch a probe, and reschedule.
-func (m *monitor) tickFn() {
+// HandleEvent implements sim.Handler: one heartbeat tick — decide whether
+// to disarm, scan for stalled in-flight operations, launch a probe, and
+// reschedule.
+func (m *monitor) HandleEvent(int64, int64) {
 	n := m.net
 	if n.inflight == 0 && n.issued == m.lastIssued {
 		m.idleTicks++

@@ -14,6 +14,15 @@
 //   - Processes (Spawn) for software: an MPI rank executing a benchmark is a
 //     goroutine that blocks on simulated conditions and sleeps for simulated
 //     compute time, reading as straight-line code.
+//
+// Events come in two physical forms. Schedule/At take a func() — the
+// convenient form, which heap-allocates a closure whenever the callback
+// captures state. Call/CallAt take a Handler plus two integer arguments —
+// the hot-path form: the handler is a long-lived model object (a transfer
+// pipeline, a process, a health monitor), so scheduling it allocates
+// nothing. Park/wake of every process, every chunk hop of every
+// fabric.Transfer and every rail heartbeat tick run on typed events; see
+// docs/MODEL.md §15 for the performance model.
 package sim
 
 import (
@@ -29,53 +38,147 @@ import (
 // Time re-exports the simulated time type for convenience.
 type Time = units.Time
 
-type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	timer *Timer // non-nil for cancellable timer events
+// Handler is the typed-event target: a pre-allocated model object whose
+// HandleEvent method the engine invokes with the two integer arguments
+// given at schedule time. Because the handler already exists and the
+// arguments travel inside the event record, scheduling one allocates
+// nothing — this is what keeps the per-chunk and park/wake paths
+// allocation-free where a closure would heap-allocate per event.
+type Handler interface {
+	HandleEvent(a, b int64)
 }
 
-// Timer is a cancellable scheduled callback (see Engine.AfterTimer).
-type Timer struct{ stopped bool }
+// event is one queued occurrence. Every callback form funnels into the
+// Handler word: model objects and processes implement Handler directly,
+// and bare func() callbacks ride as funcHandler — a func value is
+// pointer-shaped, so the interface conversion does not box. Keeping the
+// record at 48 bytes matters: heap sifting copies events, and the queue
+// routinely holds thousands.
+type event struct {
+	at   Time
+	seq  uint64
+	a, b int64 // HandleEvent arguments; zero for func() events
+	h    Handler
+}
+
+// funcHandler adapts a plain callback to the Handler interface. Named func
+// types are stored directly in an interface's data word (no allocation), so
+// Schedule/At pay only for the closure the caller already built.
+type funcHandler func()
+
+// HandleEvent implements Handler by calling the wrapped func.
+func (f funcHandler) HandleEvent(int64, int64) { f() }
+
+// Timer is a cancellable scheduled callback (see Engine.AfterTimer). It
+// implements Handler so its event record needs no closure beyond the fn the
+// caller supplied.
+type Timer struct {
+	eng   *Engine
+	fn    func()
+	state uint8
+}
+
+const (
+	timerArmed uint8 = iota
+	timerStopped
+	timerDone // fired, dropped at head, or removed by compaction
+)
 
 // Stop cancels the timer. A stopped timer's event is discarded when it
 // reaches the head of the queue — without advancing the clock or counting
 // as a dispatch — so cancelled watchdogs leave no trace on a run: neither
-// its timing nor its deadlock detection sees them.
+// its timing nor its deadlock detection sees them. When stopped timers
+// accumulate faster than they surface (per-wait watchdogs under a fault
+// plan arm one per MPI wait), the engine compacts them out of the queue in
+// bulk; see maybeCompact.
 func (t *Timer) Stop() {
-	if t != nil {
-		t.stopped = true
+	if t == nil || t.state != timerArmed {
+		return
 	}
+	t.state = timerStopped
+	t.eng.stoppedTimers++
+	t.eng.maybeCompact()
 }
 
-// eventHeap is a binary min-heap ordered by (time, sequence). It is
+// HandleEvent implements Handler: the timer fired. Engine use only.
+func (t *Timer) HandleEvent(int64, int64) {
+	t.state = timerDone
+	t.fn()
+}
+
+// eventHeap is a 4-ary min-heap ordered by (time, sequence). It is
 // hand-rolled rather than container/heap because heap.Push/Pop traffic in
 // interface{}, which boxes one event per Schedule — an allocation on the
 // hottest path of the whole simulator. push/pop below work directly on the
 // slice; the only allocations are the amortized append growths.
+//
+// Two shape choices matter at this call volume (tens of millions of ops per
+// suite run). Arity 4 halves the tree depth, trading two extra key
+// compares per level — against 48-byte elements whose moves dominate, the
+// shallower tree wins, and the four children share a cache line pair.
+// Sifting moves the displaced element through a hole instead of swapping:
+// one copy per level plus a final placement, rather than three. Neither
+// changes which event pops next — (at, seq) is a strict total order, so
+// every correct heap yields the identical pop sequence and determinism is
+// untouched.
 type eventHeap []event
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+const heapArity = 4
+
+// lessEv orders events by (time, sequence).
+func lessEv(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property for a node that may beat its parents.
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !lessEv(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+// siftDown restores the heap property for a node that may lose to a child.
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if lessEv(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !lessEv(&h[best], &ev) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
 }
 
 // push adds ev and sifts it up to its heap position.
 func (h *eventHeap) push(ev event) {
 	*h = append(*h, ev)
-	q := *h
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
-	}
+	h.siftUp(len(*h) - 1)
 }
 
 // pop removes and returns the minimum event.
@@ -84,24 +187,11 @@ func (h *eventHeap) pop() event {
 	min := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release the fn reference
+	q[n] = event{} // release the handler reference
 	q = q[:n]
 	*h = q
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		child := left
-		if right := left + 1; right < n && q.less(right, left) {
-			child = right
-		}
-		if !q.less(child, i) {
-			break
-		}
-		q[i], q[child] = q[child], q[i]
-		i = child
+	if n > 0 {
+		q.siftDown(0)
 	}
 	return min
 }
@@ -116,6 +206,13 @@ var totalDispatched atomic.Uint64
 // (or horizon-stopped) engine runs process-wide.
 func TotalDispatched() uint64 { return totalDispatched.Load() }
 
+// Timer-compaction thresholds: compact when at least compactMinStopped
+// cancelled timers sit in the queue AND they exceed a quarter of it. The
+// floor keeps small queues from compacting on every Stop; the fraction
+// bounds wasted heap traffic (every sift step over a dead event is pure
+// overhead) to a constant factor.
+const compactMinStopped = 64
+
 // Engine is a discrete-event simulator instance. It is not safe for
 // concurrent use; all model code runs on the engine's goroutine or on a
 // process that the engine has handed control to.
@@ -123,7 +220,19 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
-	procs  map[*Proc]struct{}
+	// nowq is the current-instant FIFO lane: an event scheduled for the
+	// instant being dispatched carries a larger sequence number than every
+	// queued event at that instant (sequence numbers are globally
+	// increasing), so it runs after all of them, in schedule order — a
+	// strict FIFO. Appending to a ring is O(1) where a heap push is
+	// O(log n), and zero-delay traffic (Cond wakeups, Yield, same-instant
+	// protocol steps) is a large share of all events. Dispatch drains heap
+	// events at the current instant first (their sequence numbers are
+	// smaller by construction), then this queue; the merged order is
+	// exactly the global (at, seq) order, so determinism is untouched.
+	nowq     []event
+	nowqHead int
+	procs    map[*Proc]struct{}
 	// failure captured from a panicking process, re-raised by Run.
 	failure    interface{}
 	running    bool
@@ -131,6 +240,10 @@ type Engine struct {
 	qhw        int  // event-queue depth high-water mark
 	blocked    Time // total time processes spent blocked (not sleeping)
 	slept      Time // total time processes spent in Sleep
+	// stoppedTimers counts cancelled timer events still in the queue;
+	// maybeCompact removes them in bulk once they dominate.
+	stoppedTimers int
+	compactions   uint64
 }
 
 // New returns an empty engine with the clock at zero.
@@ -140,6 +253,23 @@ func New() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// enqueue stamps the next sequence number on ev, queues it (the FIFO lane
+// for current-instant events during dispatch, the heap otherwise) and
+// maintains the depth high-water mark — the single funnel every schedule
+// form feeds.
+func (e *Engine) enqueue(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	if e.running && ev.at == e.now {
+		e.nowq = append(e.nowq, ev)
+	} else {
+		e.events.push(ev)
+	}
+	if d := len(e.events) + len(e.nowq) - e.nowqHead; d > e.qhw {
+		e.qhw = d
+	}
+}
 
 // Schedule runs fn after delay (which may be zero). Events scheduled for the
 // same instant run in schedule order.
@@ -155,11 +285,35 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
-	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
-	if len(e.events) > e.qhw {
-		e.qhw = len(e.events)
+	e.enqueue(event{at: t, h: funcHandler(fn)})
+}
+
+// Call invokes h.HandleEvent(a, b) after delay. It is the allocation-free
+// counterpart of Schedule: h is an existing model object and a/b ride in
+// the event record, so nothing escapes to the heap.
+func (e *Engine) Call(delay Time, h Handler, a, b int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
+	e.CallAt(e.now+delay, h, a, b)
+}
+
+// CallAt invokes h.HandleEvent(a, b) at the absolute time t, which must not
+// be in the past. See Call.
+func (e *Engine) CallAt(t Time, h Handler, a, b int64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.enqueue(event{at: t, h: h, a: a, b: b})
+}
+
+// schedProc queues a control-token handoff to p after delay — the park/wake
+// path. Proc implements Handler, so this allocates nothing.
+func (e *Engine) schedProc(p *Proc, delay Time) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.enqueue(event{at: e.now + delay, h: p})
 }
 
 // AfterTimer schedules fn after delay like Schedule, but returns a Timer
@@ -171,14 +325,69 @@ func (e *Engine) AfterTimer(delay Time, fn func()) *Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	t := &Timer{}
-	e.seq++
-	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn, timer: t})
-	if len(e.events) > e.qhw {
-		e.qhw = len(e.events)
-	}
+	t := &Timer{eng: e, fn: fn}
+	e.enqueue(event{at: e.now + delay, h: t})
 	return t
 }
+
+// maybeCompact removes cancelled timer events from the queue in bulk once
+// they exceed the compaction thresholds. Without this, per-wait watchdogs
+// (auto-armed on every MPI wait under a fault plan) rot in the heap until
+// their far-future deadlines surface at the head, and every push/pop in
+// between sifts over them. Compaction filters the backing slice in place
+// and re-heapifies; the (at, seq) total order that determines dispatch is
+// untouched, so determinism is unaffected.
+func (e *Engine) maybeCompact() {
+	if e.stoppedTimers < compactMinStopped || e.stoppedTimers*4 <= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if t, ok := ev.h.(*Timer); ok && t.state == timerStopped {
+			t.state = timerDone
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Zero the tail so dropped events release their references.
+	tail := e.events[len(kept):]
+	for i := range tail {
+		tail[i] = event{}
+	}
+	e.events = kept
+	if len(kept) > 1 {
+		for i := (len(kept) - 2) / heapArity; i >= 0; i-- {
+			e.events.siftDown(i)
+		}
+	}
+	// The FIFO lane can hold stopped timers too (armed and cancelled
+	// within the same instant); filter its live region, head left in place.
+	if e.nowqHead < len(e.nowq) {
+		keptNow := e.nowq[:e.nowqHead]
+		for _, ev := range e.nowq[e.nowqHead:] {
+			if t, ok := ev.h.(*Timer); ok && t.state == timerStopped {
+				t.state = timerDone
+				continue
+			}
+			keptNow = append(keptNow, ev)
+		}
+		tail := e.nowq[len(keptNow):]
+		for i := range tail {
+			tail[i] = event{}
+		}
+		e.nowq = keptNow
+	}
+	e.stoppedTimers = 0
+	e.compactions++
+}
+
+// Compactions reports how many bulk timer-compaction passes have run —
+// exposed for tests and the engine health probes.
+func (e *Engine) Compactions() uint64 { return e.compactions }
+
+// StoppedPending reports how many cancelled timer events currently sit in
+// the queue awaiting drop-on-pop or compaction (test hook).
+func (e *Engine) StoppedPending() int { return e.stoppedTimers }
 
 // Run dispatches events until the queue is empty. If live processes remain
 // blocked when the queue drains, Run returns a DeadlockError naming them. If
@@ -203,20 +412,48 @@ func (e *Engine) RunUntil(limit Time) error {
 	}()
 
 	horizon := false
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if ev.timer != nil && ev.timer.stopped {
+	for {
+		var ev event
+		if e.nowqHead < len(e.nowq) && (len(e.events) == 0 || e.events[0].at > e.now) {
+			// FIFO lane: every heap event at this instant (all with
+			// smaller sequence numbers) has already run.
+			ev = e.nowq[e.nowqHead]
+			e.nowq[e.nowqHead] = event{} // release the handler reference
+			e.nowqHead++
+			if e.nowqHead == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowqHead = 0
+			}
+			if t, ok := ev.h.(*Timer); ok && t.state != timerArmed {
+				if t.state == timerStopped {
+					t.state = timerDone
+					e.stoppedTimers--
+				}
+				continue
+			}
+		} else if len(e.events) > 0 {
+			ev = e.events[0]
+			if t, ok := ev.h.(*Timer); ok && t.state != timerArmed {
+				// Cancelled (or already compact-marked): drop without
+				// advancing the clock or counting a dispatch.
+				if t.state == timerStopped {
+					t.state = timerDone
+					e.stoppedTimers--
+				}
+				e.events.pop()
+				continue
+			}
+			if limit >= 0 && ev.at > limit {
+				horizon = true
+				break
+			}
 			e.events.pop()
-			continue
-		}
-		if limit >= 0 && ev.at > limit {
-			horizon = true
+			e.now = ev.at
+		} else {
 			break
 		}
-		e.events.pop()
-		e.now = ev.at
 		e.dispatched++
-		ev.fn()
+		ev.h.HandleEvent(ev.a, ev.b)
 		if e.failure != nil {
 			f := e.failure
 			e.failure = nil
@@ -238,8 +475,9 @@ func (e *Engine) RunUntil(limit Time) error {
 	return nil
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of queued events (heap and current-instant
+// FIFO lane together).
+func (e *Engine) Pending() int { return len(e.events) + len(e.nowq) - e.nowqHead }
 
 // Dispatched reports how many events the engine has executed — a measure
 // of simulation work, useful for budgeting large experiments.
@@ -261,15 +499,16 @@ func (e *Engine) BlockedTime() Time { return e.blocked }
 func (e *Engine) SleptTime() Time { return e.slept }
 
 // Instrument registers the engine's own health metrics in m: events
-// dispatched, event-queue depth high-water, and aggregate process
-// blocked/slept time. All are snapshot-time probes; the event loop itself
-// is untouched.
+// dispatched, event-queue depth high-water, timer compactions, and
+// aggregate process blocked/slept time. All are snapshot-time probes; the
+// event loop itself is untouched.
 func (e *Engine) Instrument(m *metrics.Registry) {
 	if m == nil {
 		return
 	}
 	m.ProbeCount("engine/events_dispatched", func() int64 { return int64(e.dispatched) })
 	m.ProbeGauge("engine/queue_high_water", func() int64 { return int64(e.qhw) })
+	m.ProbeCount("engine/timer_compactions", func() int64 { return int64(e.compactions) })
 	m.ProbeTime("engine/blocked_time", e.BlockedTime)
 	m.ProbeTime("engine/slept_time", e.SleptTime)
 }

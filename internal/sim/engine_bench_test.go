@@ -50,6 +50,74 @@ func BenchmarkEngineScheduleDeep(b *testing.B) {
 	}
 }
 
+// countHandler is a long-lived typed-event target, the shape every hot-path
+// model object (Proc, Timer, xfer, rail monitor) has after the overhaul.
+type countHandler struct{ n int64 }
+
+func (h *countHandler) HandleEvent(a, b int64) { h.n += a }
+
+// BenchmarkEngineCall measures the typed-event hot path — Call on a
+// long-lived Handler with two int64 arguments — which must not allocate:
+// the handler is already interface-shaped and the args live in the event
+// record, so the only cost is heap maintenance.
+func BenchmarkEngineCall(b *testing.B) {
+	e := New()
+	h := &countHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		for i := 0; i < k; i++ {
+			e.Call(Time((i*7919)%97), h, 1, 0)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if h.n != int64(b.N) {
+		b.Fatalf("handler ran %d times, want %d", h.n, b.N)
+	}
+}
+
+// BenchmarkProcParkWake measures one park/resume round-trip of a
+// cooperative process (Sleep(1) and the wake event that resumes it). This
+// is the path the single-token handoff collapsed from two channel
+// round-trips to one; steady state must be zero allocations per cycle (the
+// one-time Spawn cost amortizes to zero over b.N).
+func BenchmarkProcParkWake(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerArmStop measures arming and immediately stopping a timer —
+// the watchdog pattern every completed MPI wait performs — including the
+// amortized cost of lazy heap compaction reclaiming the stopped entries.
+func BenchmarkTimerArmStop(b *testing.B) {
+	e := New()
+	// Ballast keeps the heap non-trivial so compaction has real work.
+	for i := 0; i < 512; i++ {
+		e.Call(Time(1<<50+i), &countHandler{}, 0, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.AfterTimer(Time(1<<40), func() {}).Stop()
+	}
+}
+
 // TestEventHeapOrdering pushes a scrambled set of deadlines and requires
 // pops in (time, seq) order — the determinism invariant the hand-rolled
 // heap must preserve exactly as container/heap did.

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// perCycleAllocs runs body at two cycle counts and returns the marginal
+// allocations per cycle. The subtraction cancels fixed setup costs (engine,
+// goroutine spawn, slice warm-up) so only the steady-state per-cycle cost
+// remains — the quantity the allocation-free hot paths must keep at zero.
+func perCycleAllocs(t *testing.T, small, large int, body func(cycles int)) float64 {
+	t.Helper()
+	a := testing.AllocsPerRun(5, func() { body(small) })
+	b := testing.AllocsPerRun(5, func() { body(large) })
+	return (b - a) / float64(large-small)
+}
+
+// TestParkWakeZeroAlloc pins the handoff redesign: a steady-state
+// Sleep/resume cycle (park, wake event, resume) must not allocate. Before
+// the typed-event overhaul each cycle allocated a wake closure.
+func TestParkWakeZeroAlloc(t *testing.T) {
+	per := perCycleAllocs(t, 64, 8256, func(cycles int) {
+		e := New()
+		e.Spawn("s", func(p *Proc) {
+			for i := 0; i < cycles; i++ {
+				p.Sleep(1)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 0.001 {
+		t.Errorf("park/wake allocates %.4f per cycle, want 0", per)
+	}
+}
+
+// TestYieldZeroAlloc does the same for Yield, which parks and immediately
+// reschedules at the current instant (the nowq fast lane).
+func TestYieldZeroAlloc(t *testing.T) {
+	per := perCycleAllocs(t, 64, 8256, func(cycles int) {
+		e := New()
+		e.Spawn("s", func(p *Proc) {
+			for i := 0; i < cycles; i++ {
+				p.Yield()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 0.001 {
+		t.Errorf("yield allocates %.4f per cycle, want 0", per)
+	}
+}
+
+// TestCondWakeZeroAlloc covers the third hot blocking path: a Cond
+// Wait/Broadcast cycle between two processes must not allocate in steady
+// state (the waiters slice reuses its backing array).
+func TestCondWakeZeroAlloc(t *testing.T) {
+	per := perCycleAllocs(t, 64, 8256, func(cycles int) {
+		e := New()
+		var c Cond
+		turn := 0
+		evenTurn := func() bool { return turn%2 == 0 }
+		oddTurn := func() bool { return turn%2 == 1 }
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < cycles; i++ {
+				c.WaitUntil(p, "a", evenTurn)
+				turn++
+				c.Broadcast()
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < cycles; i++ {
+				c.WaitUntil(p, "b", oddTurn)
+				turn++
+				c.Broadcast()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 0.001 {
+		t.Errorf("cond wait/broadcast allocates %.4f per cycle, want 0", per)
+	}
+}
+
+// TestCondSignalWakesOldest arranges waiters whose wait order differs from
+// their spawn order and signals one at a time: each Signal must wake the
+// waiter that has been parked longest.
+func TestCondSignalWakesOldest(t *testing.T) {
+	e := New()
+	var c Cond
+	var woke []string
+	// Spawn in reverse so spawn order cannot masquerade as wait order:
+	// w0 begins waiting at t=10, w1 at 20, w2 at 30.
+	for i := 2; i >= 0; i-- {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(10 * (i + 1)))
+			c.Wait(p, "turn")
+			woke = append(woke, p.Name())
+		})
+	}
+	e.Spawn("signaller", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100)
+			c.Signal()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(woke, " "); got != "w0 w1 w2" {
+		t.Fatalf("signal wake order = %q, want oldest-first \"w0 w1 w2\"", got)
+	}
+}
+
+// TestCondBroadcastWakesInWaitOrder is the Broadcast analogue: waiters
+// resumed by one Broadcast run in the order they began waiting, regardless
+// of spawn order.
+func TestCondBroadcastWakesInWaitOrder(t *testing.T) {
+	e := New()
+	var c Cond
+	var woke []string
+	for i := 3; i >= 0; i-- {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(10 * (i + 1)))
+			c.Wait(p, "gate")
+			woke = append(woke, p.Name())
+		})
+	}
+	e.Spawn("opener", func(p *Proc) {
+		p.Sleep(100)
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(woke, " "); got != "w0 w1 w2 w3" {
+		t.Fatalf("broadcast wake order = %q, want wait order \"w0 w1 w2 w3\"", got)
+	}
+}
+
+// TestCondWaitUntilRechecks drives spurious wakeups at a WaitUntil waiter:
+// Broadcasts while the predicate is false must re-park it (the predicate
+// runs once per wake plus the initial check), and it may only return once
+// the predicate holds.
+func TestCondWaitUntilRechecks(t *testing.T) {
+	e := New()
+	var c Cond
+	ready := false
+	checks := 0
+	var doneAt Time = -1
+	e.Spawn("waiter", func(p *Proc) {
+		c.WaitUntil(p, "ready", func() bool { checks++; return ready })
+		doneAt = p.Now()
+	})
+	e.Spawn("noise", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			c.Broadcast() // spurious: predicate still false
+		}
+		p.Sleep(10)
+		ready = true
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 40 {
+		t.Fatalf("waiter returned at %v, want 40 (only after the predicate held)", doneAt)
+	}
+	if checks != 5 {
+		t.Fatalf("predicate ran %d times, want 5 (initial + 3 spurious + final)", checks)
+	}
+}
+
+// TestTimerCompactionReclaimsStopped stops enough timers to cross the lazy
+// compaction threshold and requires: compaction actually ran, the stopped
+// entries are gone from the queue, and neither the clock nor the dispatch
+// count shows any trace of the cancelled timers.
+func TestTimerCompactionReclaimsStopped(t *testing.T) {
+	e := New()
+	const n = 400
+	timers := make([]*Timer, 0, n)
+	fired := 0
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.AfterTimer(Time(1000+i), func() { fired++ }))
+	}
+	e.Schedule(5, func() {
+		for _, tm := range timers[:n-1] {
+			tm.Stop()
+		}
+	})
+	before := e.Dispatched()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Compactions() == 0 {
+		t.Error("stopping most of the queue never triggered a compaction")
+	}
+	if e.StoppedPending() != 0 {
+		t.Errorf("StoppedPending = %d after run, want 0", e.StoppedPending())
+	}
+	if fired != 1 {
+		t.Fatalf("%d timers fired, want only the surviving one", fired)
+	}
+	if e.Now() != Time(1000+n-1) {
+		t.Errorf("clock = %v, want %d (stopped timers must not move the clock)", e.Now(), 1000+n-1)
+	}
+	if got := e.Dispatched() - before; got != 2 {
+		t.Errorf("dispatched %d events, want 2 (the stopper and the survivor)", got)
+	}
+}
+
+// TestTimerCompactionMidRun verifies compaction during dispatch leaves the
+// queue consistent: events scheduled around a compaction still run in exact
+// (time, seq) order.
+func TestTimerCompactionMidRun(t *testing.T) {
+	e := New()
+	var got []int
+	timers := make([]*Timer, 0, 256)
+	for i := 0; i < 256; i++ {
+		timers = append(timers, e.AfterTimer(Time(5000+i), func() { t.Error("stopped timer fired") }))
+	}
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Time(100*(i+1)), func() { got = append(got, i) })
+	}
+	e.Schedule(50, func() {
+		for _, tm := range timers {
+			tm.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Compactions() == 0 {
+		t.Fatal("no compaction happened mid-run")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("post-compaction order broken: got %v", got)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestStopAfterFireIsNoOp: stopping a timer that already fired must not
+// corrupt the stopped-timer accounting that drives compaction.
+func TestStopAfterFireIsNoOp(t *testing.T) {
+	e := New()
+	tm := e.AfterTimer(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tm.Stop()
+	tm.Stop()
+	if e.StoppedPending() != 0 {
+		t.Errorf("StoppedPending = %d after stopping a fired timer, want 0", e.StoppedPending())
+	}
+}

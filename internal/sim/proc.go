@@ -11,8 +11,20 @@ type Proc struct {
 	eng  *Engine
 	name string
 
-	resume chan struct{} // engine -> proc: you hold the token
-	parked chan parkMsg  // proc -> engine: token back
+	// tok is the single control-token handoff channel. Ownership strictly
+	// alternates — the engine sends to resume the process, the process
+	// sends to park or finish — so one unbuffered channel serves both
+	// directions: whenever one side sends, the other is already receiving,
+	// and the rendezvous completes without an extra blocking round-trip.
+	// (The previous design used a resume channel plus a parked channel —
+	// two channel structures and a parkMsg copied through one of them on
+	// every cycle.)
+	tok chan struct{}
+
+	// msg is the reusable park report, written by the process before it
+	// hands the token back. The channel send orders the write before the
+	// engine's read, so a plain field is race-free.
+	msg parkMsg
 
 	// blockedOn describes what the process is waiting for; surfaced in
 	// deadlock reports.
@@ -34,44 +46,50 @@ type parkMsg struct {
 // handed it the control token.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan parkMsg),
+		eng:  e,
+		name: name,
+		tok:  make(chan struct{}),
 	}
 	e.procs[p] = struct{}{}
 	go func() {
-		<-p.resume // wait for the starter event
+		<-p.tok // wait for the starter event
 		defer func() {
 			r := recover()
-			p.parked <- parkMsg{finished: true, panicked: r}
+			p.msg = parkMsg{finished: true, panicked: r}
+			p.tok <- struct{}{}
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.step(p) })
+	e.schedProc(p, 0)
 	return p
 }
 
 // step hands the control token to p and blocks the engine until p parks or
 // finishes.
 func (e *Engine) step(p *Proc) {
-	p.resume <- struct{}{}
-	msg := <-p.parked
-	if msg.finished {
+	p.tok <- struct{}{}
+	<-p.tok
+	if p.msg.finished {
 		delete(e.procs, p)
-		if msg.panicked != nil {
-			e.failure = &ProcFailure{Proc: p.name, Value: msg.panicked}
+		if p.msg.panicked != nil {
+			e.failure = &ProcFailure{Proc: p.name, Value: p.msg.panicked}
 		}
 	}
 }
+
+// HandleEvent implements Handler: a wake event reached its instant, so the
+// engine hands this process the control token. Engine use only — model
+// code wakes processes through Cond, Sleep and Yield.
+func (p *Proc) HandleEvent(int64, int64) { p.eng.step(p) }
 
 // park gives the token back to the engine and blocks until somebody resumes
 // this process via a wake event.
 func (p *Proc) park(why string) {
 	p.blockedOn = why
 	t0 := p.eng.now
-	p.parked <- parkMsg{}
-	<-p.resume
+	p.msg = parkMsg{}
+	p.tok <- struct{}{}
+	<-p.tok
 	d := p.eng.now - t0
 	if why == "sleep" {
 		p.slept += d
@@ -84,9 +102,12 @@ func (p *Proc) park(why string) {
 }
 
 // wake schedules an event that transfers control back to p. It must be
-// called while the engine (or another process holding the token) is running.
+// called while the engine (or another process holding the token) is
+// running. The wake is a typed event — no closure, no allocation — which
+// matters because every Sleep, Yield and Cond wakeup in the simulator
+// passes through here.
 func (p *Proc) wake(delay Time) {
-	p.eng.Schedule(delay, func() { p.eng.step(p) })
+	p.eng.schedProc(p, delay)
 }
 
 // Name returns the process name given at Spawn.
@@ -141,10 +162,12 @@ func (c *Cond) Wait(p *Proc, why string) {
 	p.park(why)
 }
 
-// Broadcast wakes every current waiter, in wait order.
+// Broadcast wakes every current waiter, in wait order. The waiter slice's
+// backing array is kept for reuse: wakes only schedule events, so no waiter
+// can re-append until after the loop completes.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 	for _, p := range ws {
 		p.wake(0)
 	}
@@ -156,7 +179,8 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:n]
 	p.wake(0)
 }
 

@@ -26,11 +26,8 @@ type Station struct {
 	wait     Time // cumulative queueing delay (submission to service start)
 	lastSeen Time
 
-	// span recording, nil/zero unless RecordSpans armed it
-	met      *metrics.Registry
-	spanNode int
-	spanOp   string
-	spanCat  string
+	// span recording, nil unless RecordSpans armed it
+	spans    *metrics.SpanTrack
 	spanSize int64 // payload hint for the next Use, set by Pipe.Send
 }
 
@@ -58,11 +55,8 @@ func (s *Station) Use(now Time, dur Time) (start, end Time) {
 	s.busy += dur
 	s.wait += start - now
 	s.jobs++
-	if s.met != nil {
-		s.met.Span(metrics.Span{
-			Node: s.spanNode, Track: s.name, Name: s.spanOp, Cat: s.spanCat,
-			Start: start, End: end, Size: s.spanSize,
-		})
+	if s.spans != nil {
+		s.spans.Emit(start, end, s.spanSize)
 		s.spanSize = 0
 	}
 	return start, end
@@ -70,16 +64,17 @@ func (s *Station) Use(now Time, dur Time) (start, end Time) {
 
 // RecordSpans arms the station to log every job it serves as a device-level
 // span in m, attributed to node with the given operation name and layer
-// category. A nil m disarms. Recording never perturbs timing.
+// category. A nil m disarms. The lane is resolved once here, so the per-job
+// cost in Use is a template copy. Recording never perturbs timing.
 func (s *Station) RecordSpans(m *metrics.Registry, node int, op, cat string) {
-	s.met, s.spanNode, s.spanOp, s.spanCat = m, node, op, cat
+	s.spans = m.Track(node, s.name, op, cat)
 }
 
 // NoteSize attaches a payload-size hint to the next Use, consumed by span
 // recording. Pipe.Send calls it automatically; byte-oriented wrappers that
 // compute their own durations (the bus) call it before Use.
 func (s *Station) NoteSize(n int64) {
-	if s.met != nil && n > 0 {
+	if s.spans != nil && n > 0 {
 		s.spanSize = n
 	}
 }

@@ -294,6 +294,11 @@ type endpoint struct {
 	connSetups  *metrics.Counter
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
+
+	// paths caches the assembled hardware path per destination: routing is
+	// static (deterministic ECMP), so the stage list for a (src, dst) pair
+	// never changes and rebuilding it per message only feeds the allocator.
+	paths [][]fabric.PathStage
 }
 
 // OnFault implements dev.FaultReporter.
@@ -388,12 +393,26 @@ func (ep *endpoint) pioPenalty() sim.Time {
 	return 0
 }
 
-// path assembles the staged hardware path to dst. The fabric is cut-
+// path returns the staged hardware path to dst, assembled once per
+// destination and cached.
+func (ep *endpoint) path(dst int) []fabric.PathStage {
+	if ep.paths == nil {
+		ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+	}
+	if p := ep.paths[dst]; p != nil {
+		return p
+	}
+	p := ep.buildPath(dst)
+	ep.paths[dst] = p
+	return p
+}
+
+// buildPath assembles the staged hardware path to dst. The fabric is cut-
 // through: injection serializes on the source's up-link and drain on the
 // destination's down-link (which doubles as the switch output port in a
 // star), with the switch crossing as pure latency. Same-node traffic loops
 // through the HCA without touching the link or switch.
-func (ep *endpoint) path(dst int) []fabric.PathStage {
+func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	src := ep.net.nodes[ep.node]
 	if dst == ep.node {
 		return []fabric.PathStage{

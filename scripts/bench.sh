@@ -1,22 +1,36 @@
 #!/bin/sh
-# Suite parallelism benchmark: run the quick figure suite serially (-j 1)
-# and parallel (-j N), verify the outputs are byte-identical, and emit
-# BENCH_parallel.json recording both runs' wall-clock and simulation
-# event throughput plus the speedup — the perf trajectory's first data
-# point for the experiment runner.
+# Host-performance benchmarks. Two modes:
 #
-# Usage: bench.sh [-j N] [-o BENCH_parallel.json] [-quick|-full]
+#   bench.sh [-j N] [-o FILE] [-quick|-full]
+#       Suite parallelism record: run the figure suite serially (-j 1) and
+#       parallel (-j N), verify the outputs are byte-identical, and emit
+#       BENCH_parallel.json with both runs' wall-clock and event
+#       throughput. On a single-CPU host the speedup is reported as null
+#       with a reason — a wall-clock ratio taken where -j cannot help is
+#       noise, not a parallelism measurement.
+#
+#   bench.sh -engine [-o FILE]
+#       Engine hot-path record: run the macro suite-throughput benchmark
+#       (BenchmarkSuiteEventsPerSec) plus the park/wake, typed-event and
+#       transfer-chunk micro-benchmarks, and emit BENCH_engine.json with
+#       events/sec and allocs/op. The committed copy is the baseline CI's
+#       perf-smoke job diffs against (warn at >10% regression). The
+#       before/after block records the full-suite measurement taken at the
+#       overhaul boundary (both binaries interleaved on one host); see
+#       docs/MODEL.md §15.
 #
 #   -j N     parallel worker count (default: host core count)
-#   -o FILE  output path (default BENCH_parallel.json in the repo root)
+#   -o FILE  output path (default BENCH_parallel.json / BENCH_engine.json)
 #   -full    benchmark the full class B suite instead of quick mode
 #            (minutes per run; what the nightly job records)
 set -eu
 cd "$(dirname "$0")/.."
 
-jobs=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
-out=BENCH_parallel.json
+host_cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+jobs=$host_cpus
+out=""
 mode="-quick"
+engine=""
 while [ $# -gt 0 ]; do
     case "$1" in
     -j)
@@ -29,8 +43,9 @@ while [ $# -gt 0 ]; do
         ;;
     -quick) mode="-quick" ;;
     -full) mode="" ;;
+    -engine) engine=1 ;;
     *)
-        echo "usage: bench.sh [-j N] [-o FILE] [-quick|-full]" >&2
+        echo "usage: bench.sh [-engine] [-j N] [-o FILE] [-quick|-full]" >&2
         exit 2
         ;;
     esac
@@ -39,6 +54,68 @@ done
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+if [ -n "$engine" ]; then
+    out=${out:-BENCH_engine.json}
+
+    echo "== macro: quick suite throughput (3 rounds) ==" >&2
+    go test -run '^$' -bench 'BenchmarkSuiteEventsPerSec$' -benchtime 3x \
+        ./internal/experiments/ >"$tmp/macro.txt"
+    echo "== micro: park/wake, typed events, timers, transfer chunks ==" >&2
+    go test -run '^$' -benchmem \
+        -bench 'BenchmarkEngineCall$|BenchmarkProcParkWake$|BenchmarkTimerArmStop$' \
+        ./internal/sim/ >"$tmp/sim.txt"
+    go test -run '^$' -benchmem -bench 'BenchmarkTransferChunk$' \
+        ./internal/fabric/ >"$tmp/fabric.txt"
+
+    # metric FILE BENCH UNIT: the value reported with UNIT on BENCH's line.
+    metric() {
+        awk -v name="$2" -v unit="$3" \
+            '$1 ~ "^"name {for (i = 2; i < NF; i++) if ($(i+1) == unit) {print $i; exit}}' "$1"
+    }
+    # go test suffixes benchmark names with -GOMAXPROCS (no suffix = 1).
+    gmp=$(awk '$1 ~ /^BenchmarkSuiteEventsPerSec/ {n = split($1, a, "-"); if (n > 1) print a[n]; exit}' "$tmp/macro.txt")
+    [ -n "$gmp" ] || gmp=1
+
+    micro() { # NAME FILE BENCH -> one JSON object line
+        printf '    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' \
+            "$1" "$(metric "$2" "$3" ns/op)" "$(metric "$2" "$3" allocs/op)"
+    }
+
+    {
+        printf '{\n'
+        printf '  "host_cpus": %s,\n' "$host_cpus"
+        printf '  "gomaxprocs": %s,\n' "$gmp"
+        printf '  "go": "%s",\n' "$(go env GOVERSION)"
+        printf '  "suite": {\n'
+        printf '    "bench": "BenchmarkSuiteEventsPerSec",\n'
+        printf '    "mode": "quick",\n'
+        printf '    "events_per_op": %s,\n' "$(metric "$tmp/macro.txt" BenchmarkSuiteEventsPerSec events/op)"
+        printf '    "events_per_sec": %s\n' "$(metric "$tmp/macro.txt" BenchmarkSuiteEventsPerSec events/s)"
+        printf '  },\n'
+        printf '  "overhaul_reference": {\n'
+        printf '    "note": "full suite (-j 1), both binaries interleaved on the same single-CPU host at the overhaul commit; see docs/MODEL.md \\u00a715",\n'
+        printf '    "events_dispatched": 1777554495,\n'
+        printf '    "before_events_per_sec": 4102333,\n'
+        printf '    "after_events_per_sec": 6628071,\n'
+        printf '    "speedup": 1.62\n'
+        printf '  },\n'
+        printf '  "micro": {\n'
+        micro engine_call "$tmp/sim.txt" BenchmarkEngineCall
+        printf ',\n'
+        micro proc_park_wake "$tmp/sim.txt" BenchmarkProcParkWake
+        printf ',\n'
+        micro timer_arm_stop "$tmp/sim.txt" BenchmarkTimerArmStop
+        printf ',\n'
+        micro transfer_chunk "$tmp/fabric.txt" BenchmarkTransferChunk
+        printf '\n  }\n}\n'
+    } >"$out"
+
+    echo "wrote $out ($(metric "$tmp/macro.txt" BenchmarkSuiteEventsPerSec events/s) events/s on the quick suite)" >&2
+    exit 0
+fi
+
+out=${out:-BENCH_parallel.json}
 go build -o "$tmp/paperrepro" ./cmd/paperrepro
 
 echo "== serial run (-j 1) ==" >&2
@@ -58,14 +135,26 @@ field() {
 }
 serial_wall=$(field "$tmp/serial.json" wall_seconds)
 parallel_wall=$(field "$tmp/parallel.json" wall_seconds)
-speedup=$(awk "BEGIN { printf \"%.3f\", $serial_wall / $parallel_wall }")
+gomaxprocs=$(field "$tmp/serial.json" gomaxprocs)
+
+# A speedup is only a parallelism measurement when the host can actually
+# run workers in parallel; otherwise report null and say why.
+if [ "$gomaxprocs" -le 1 ] 2>/dev/null; then
+    speedup=null
+    speedup_note="GOMAXPROCS=1: workers cannot run in parallel, wall-clock ratio would be scheduling noise"
+else
+    speedup=$(awk "BEGIN { printf \"%.3f\", $serial_wall / $parallel_wall }")
+    speedup_note=""
+fi
 
 {
     printf '{\n'
-    printf '  "host_cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+    printf '  "host_cpus": %s,\n' "$host_cpus"
+    printf '  "gomaxprocs": %s,\n' "${gomaxprocs:-0}"
     printf '  "mode": "%s",\n' "$([ -n "$mode" ] && echo quick || echo full)"
     printf '  "byte_identical": true,\n'
     printf '  "speedup": %s,\n' "$speedup"
+    printf '  "speedup_note": "%s",\n' "$speedup_note"
     printf '  "serial": '
     cat "$tmp/serial.json"
     printf ',\n  "parallel": '

@@ -53,6 +53,20 @@ while [ $# -gt 0 ]; do
     shift
 done
 
+echo "== engine hot-path guards =="
+# The engine overhaul (docs/MODEL.md §15) removed interface boxing and
+# closure-per-wake scheduling from internal/sim; neither may creep back.
+# (Tests may use Schedule(0, ...) closures — only the library is guarded.)
+if grep -rn --include='*.go' '"container/heap"' internal/sim/; then
+    echo "FAIL: internal/sim imports container/heap (one boxed allocation per event)" >&2
+    exit 1
+fi
+if grep -rn --include='*.go' --exclude='*_test.go' 'Schedule(0, func()' internal/sim/; then
+    echo "FAIL: internal/sim wakes procs via per-event closures again (allocation per park/wake)" >&2
+    exit 1
+fi
+echo "banned patterns absent"
+
 echo "== go vet =="
 go vet ./...
 
