@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mpibench [-fig N] [-quick] [-j N] [-v]
-//	mpibench [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
+//	mpibench [-metrics FILE] [-tracefile FILE] [-blame FILE] [-tracemsgs N] [-obsnet IBA|Myri|QSN]
 //
 // Without -fig it runs the whole suite: Figures 1-13 plus the PCI
 // comparison Figures 26-27. -quick thins the size sweeps for a fast smoke
@@ -14,8 +14,11 @@
 //
 // The second form runs the instrumented observability demo workload:
 // -metrics writes the cross-layer metrics snapshot, -tracefile a Chrome
-// trace_event JSON, -obsnet picks the interconnect (default IBA). Either
-// output flag can be - for stdout.
+// trace_event JSON, -blame the per-message critical-path blame report
+// (machine-readable JSON), -obsnet picks the interconnect (default IBA).
+// -tracemsgs N turns on per-message span tracing at 1-in-N sampling
+// (-blame implies N=1 when unset), which also adds message-flow arrows to
+// the Chrome trace. Any output flag can be - for stdout.
 package main
 
 import (
@@ -43,13 +46,15 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
 	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
 	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
+	traceMsgs := flag.Int("tracemsgs", 0, "per-message tracing for the observability demo: trace 1 in N messages (0 = off, 1 = all); adds flow arrows to -tracefile")
+	blameOut := flag.String("blame", "", "run the traced observability demo, write the critical-path blame report JSON here (- = stdout), and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
 
 	os.Exit(profiling.Run(*cpuProfile, *memProfile, "mpibench", func() int {
-		if *metricsOut != "" || *traceOut != "" {
-			if err := runObserved(*obsNet, *metricsOut, *traceOut); err != nil {
+		if *metricsOut != "" || *traceOut != "" || *blameOut != "" {
+			if err := runObserved(*obsNet, *metricsOut, *traceOut, *blameOut, *traceMsgs); err != nil {
 				fmt.Fprintln(os.Stderr, "mpibench:", err)
 				return 1
 			}
@@ -102,13 +107,16 @@ func main() {
 }
 
 // runObserved executes the instrumented demo workload and writes the
-// requested artifacts.
-func runObserved(net, metricsPath, tracePath string) error {
+// requested artifacts. -blame implies full tracing when -tracemsgs is 0.
+func runObserved(net, metricsPath, tracePath, blamePath string, traceEvery int) error {
 	p, err := experiments.PlatformByName(net)
 	if err != nil {
 		return err
 	}
-	w, err := experiments.Observe(p)
+	if blamePath != "" && traceEvery <= 0 {
+		traceEvery = 1
+	}
+	w, err := experiments.ObserveTraced(p, traceEvery)
 	if err != nil {
 		return err
 	}
@@ -125,6 +133,15 @@ func runObserved(net, metricsPath, tracePath string) error {
 			return err
 		}
 		if err := writeOut(tracePath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	if blamePath != "" {
+		var b bytes.Buffer
+		if err := report.WriteBlameJSON(&b, w.MsgTrace().Analyze(5)); err != nil {
+			return err
+		}
+		if err := writeOut(blamePath, b.Bytes()); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-benchjson FILE]
-//	paperrepro [-metrics FILE] [-tracefile FILE] [-obsnet IBA|Myri|QSN]
+//	paperrepro [-metrics FILE] [-tracefile FILE] [-blame FILE] [-tracemsgs N] [-obsnet IBA|Myri|QSN]
+//	paperrepro -postmortem [-obsnet IBA|Myri|QSN] [-droprate P] [-seed N]
 //	paperrepro -faults [-droprate P] [-seed N] [-faultnet IBA|Myri|QSN]
 //	paperrepro -railfail [-railpair IBA+Myri] [-railpolicy failover|stripe] [-seed N]
 //
@@ -25,8 +26,15 @@
 // The second form runs the instrumented observability demo workload
 // instead of the reproduction: -metrics writes the cross-layer metrics
 // snapshot, -tracefile writes a Chrome trace_event JSON (open in
-// chrome://tracing or https://ui.perfetto.dev), and -obsnet picks the
-// interconnect (default IBA). Either flag can be - for stdout.
+// chrome://tracing or https://ui.perfetto.dev), -blame writes the
+// per-message critical-path blame report as machine-readable JSON, and
+// -obsnet picks the interconnect (default IBA). -tracemsgs N enables
+// per-message span tracing at 1-in-N sampling (-blame implies N=1 when
+// unset) and adds message-flow arrows to the Chrome trace. Any output
+// flag can be - for stdout. -postmortem runs the fault-injected tracing
+// demo instead: LU class S under -droprate drops plus a rail kill at 50%
+// of the healthy run, dumping the flight recorder and the blame report
+// that names the failing rank and stage.
 //
 // The third form runs the fault-injection smoke instead: a seeded latency
 // probe plus LU class S under -droprate uniform packet loss (default 1%),
@@ -68,6 +76,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
 	traceOut := flag.String("tracefile", "", "run the observability demo, write a Chrome trace_event JSON here (- = stdout), and exit")
 	obsNet := flag.String("obsnet", "IBA", "interconnect for the observability demo (IBA, Myri or QSN)")
+	traceMsgs := flag.Int("tracemsgs", 0, "per-message tracing for the observability demo: trace 1 in N messages (0 = off, 1 = all); adds flow arrows to -tracefile")
+	blameOut := flag.String("blame", "", "run the traced observability demo, write the critical-path blame report JSON here (- = stdout), and exit")
+	postmortem := flag.Bool("postmortem", false, "run the fault-injected postmortem demo (LU class S under drops + a rail kill) and print its flight-recorder dump and blame report")
 	faultsRun := flag.Bool("faults", false, "run the fault-injection smoke (latency probe + LU class S under -droprate) and exit")
 	dropRate := flag.Float64("droprate", 0.01, "per-packet drop probability for -faults (0 = healthy control)")
 	seed := flag.Uint64("seed", 0, "fault-plan seed for -faults (0 = the committed experiment seed)")
@@ -83,7 +94,8 @@ func main() {
 		return run(runOpts{
 			out: *out, quick: *quick, jobs: *jobs, benchOut: *benchOut,
 			csvDir: *csvDir, metricsOut: *metricsOut, traceOut: *traceOut,
-			obsNet: *obsNet, faultsRun: *faultsRun, dropRate: *dropRate,
+			obsNet: *obsNet, traceMsgs: *traceMsgs, blameOut: *blameOut,
+			postmortem: *postmortem, faultsRun: *faultsRun, dropRate: *dropRate,
 			seed: *seed, faultNet: *faultNet, railRun: *railRun,
 			railPair: *railPair, railPolicy: *railPolicy,
 		})
@@ -99,6 +111,9 @@ type runOpts struct {
 	metricsOut string
 	traceOut   string
 	obsNet     string
+	traceMsgs  int
+	blameOut   string
+	postmortem bool
 	faultsRun  bool
 	dropRate   float64
 	seed       uint64
@@ -111,6 +126,14 @@ type runOpts struct {
 func run(o runOpts) int {
 	if o.railRun {
 		if err := experiments.RailFailSmoke(os.Stdout, o.railPair, o.railPolicy, o.seed); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if o.postmortem {
+		if err := experiments.Postmortem(os.Stdout, o.obsNet, o.dropRate, o.seed); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			return 1
 		}
@@ -131,8 +154,8 @@ func run(o runOpts) int {
 		return 0
 	}
 
-	if o.metricsOut != "" || o.traceOut != "" {
-		if err := runObserved(o.obsNet, o.metricsOut, o.traceOut); err != nil {
+	if o.metricsOut != "" || o.traceOut != "" || o.blameOut != "" {
+		if err := runObserved(o.obsNet, o.metricsOut, o.traceOut, o.blameOut, o.traceMsgs); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			return 1
 		}
@@ -211,13 +234,16 @@ func writeBenchJSON(path string, r *experiments.Runner, jobs int, wall time.Dura
 }
 
 // runObserved executes the instrumented demo workload and writes the
-// requested artifacts.
-func runObserved(net, metricsPath, tracePath string) error {
+// requested artifacts. -blame implies full tracing when -tracemsgs is 0.
+func runObserved(net, metricsPath, tracePath, blamePath string, traceEvery int) error {
 	p, err := experiments.PlatformByName(net)
 	if err != nil {
 		return err
 	}
-	w, err := experiments.Observe(p)
+	if blamePath != "" && traceEvery <= 0 {
+		traceEvery = 1
+	}
+	w, err := experiments.ObserveTraced(p, traceEvery)
 	if err != nil {
 		return err
 	}
@@ -234,6 +260,15 @@ func runObserved(net, metricsPath, tracePath string) error {
 			return err
 		}
 		if err := writeOut(tracePath, b.Bytes()); err != nil {
+			return err
+		}
+	}
+	if blamePath != "" {
+		var b bytes.Buffer
+		if err := report.WriteBlameJSON(&b, w.MsgTrace().Analyze(5)); err != nil {
+			return err
+		}
+		if err := writeOut(blamePath, b.Bytes()); err != nil {
 			return err
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/metrics"
 	"mpinet/internal/mpi"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 	"mpinet/internal/units"
@@ -134,11 +135,12 @@ type RunConfig struct {
 	Platform     cluster.Platform
 	Class        Class
 	Procs        int
-	ProcsPerNode int               // default 1; the paper's SMP runs use 2
-	Nodes        int               // default Procs/ProcsPerNode
-	Timeline     *trace.Timeline   // optional message-event collection
-	Metrics      *metrics.Registry // optional cross-layer instrument registry
-	Utilization  bool              // collect per-resource busy accounting
+	ProcsPerNode int                // default 1; the paper's SMP runs use 2
+	Nodes        int                // default Procs/ProcsPerNode
+	Timeline     *trace.Timeline    // optional message-event collection
+	Metrics      *metrics.Registry  // optional cross-layer instrument registry
+	MsgTrace     *msgtrace.Recorder // optional per-message span tracing
+	Utilization  bool               // collect per-resource busy accounting
 }
 
 // Run executes the workload on a freshly wired testbed and reports timing
@@ -164,6 +166,7 @@ func (a *App) Run(cfg RunConfig) (Result, error) {
 		ProcsPerNode: ppn,
 		Timeline:     cfg.Timeline,
 		Metrics:      cfg.Metrics,
+		MsgTrace:     cfg.MsgTrace,
 	})
 	cal := a.cal(cfg.Class)
 	err := w.Run(func(r *mpi.Rank) { a.run(r, cfg.Class, cal) })

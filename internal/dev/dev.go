@@ -23,6 +23,7 @@ package dev
 import (
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 )
 
@@ -174,4 +175,17 @@ type FaultReporter interface {
 // endpoint with no fault plan never calls the observer.
 type RetryReporter interface {
 	OnRetry(observe func())
+}
+
+// TraceAttacher is implemented by networks that can carry per-message
+// trace context (see internal/msgtrace). The MPI world attaches its
+// recorder at wiring time; device models then read the current message's
+// trace ID from the recorder synchronously at the Eager/Control/Bulk entry
+// (the cooperative scheduler makes the scoped handoff race-free), capture
+// it into their completion and retry closures, and record wire, hop,
+// backoff and flight-recorder observations against it. Composite networks
+// (the rail bond) forward the attachment to every member and add their own
+// dispatch/failover spans.
+type TraceAttacher interface {
+	AttachTracer(rec *msgtrace.Recorder)
 }

@@ -32,6 +32,7 @@ import (
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -120,6 +121,7 @@ type Network struct {
 	nodes []*nodeHW
 	met   *metrics.Registry
 	inj   *faults.Injector
+	rec   *msgtrace.Recorder
 }
 
 type nodeHW struct {
@@ -183,6 +185,9 @@ func (n *Network) ShmemBelow() int64 { return 0 }
 
 // FaultPlan implements dev.FaultPlanner (nil when faults are off).
 func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
+// AttachTracer implements dev.TraceAttacher.
+func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
 
 // ShmemConfig returns intra-node channel parameters (unused in practice
 // since ShmemBelow is 0, but required for interface completeness).
@@ -441,10 +446,12 @@ func (ep *endpoint) buildPath(dst int, size int64) []fabric.PathStage {
 
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	eng := ep.net.eng
+	rec := ep.net.rec
+	tid, rail := rec.Cur(), rec.CurRail()
 	ep.outstanding++
 	inj := ep.net.inj
 	if inj == nil || dst == ep.node {
-		fabric.Transfer(eng, ep.path(dst, size), size, fabric.ChunkFor(size), eng.Now(),
+		ep.wireAttempt(tid, rail, 0, dst, size, eng.Now(),
 			func(end sim.Time) {
 				ep.outstanding--
 				deliver()
@@ -460,7 +467,7 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	attempt := 1
 	var try func(at sim.Time)
 	try = func(at sim.Time) {
-		fabric.Transfer(eng, ep.path(dst, size), size, fabric.ChunkFor(size), at,
+		ep.wireAttempt(tid, rail, uint8(attempt-1), dst, size, at,
 			func(end sim.Time) {
 				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
 					ep.outstanding--
@@ -476,6 +483,8 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 				delay := elanRetry.Delay(attempt)
 				attempt++
 				ep.retried()
+				rec.Flight(msgtrace.FlightRetransmit, end, ep.node, tid, msgtrace.StageWire, int64(attempt-1), int64(dst))
+				rec.Span(tid, msgtrace.StageBackoff, ep.node, rail, uint8(attempt-1), -1, end, end+delay, size)
 				eng.At(end+delay, func() {
 					hw := ep.net.nodes[ep.node]
 					hw.elanProc.Use(eng.Now(), elanPerMsg)
@@ -484,6 +493,24 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 			})
 	}
 	try(start)
+}
+
+// wireAttempt runs one transfer attempt over the staged path, recording the
+// attempt's wire span (and per-hop fabric detail) when the message is
+// sampled; unsampled messages take the plain zero-extra-cost path.
+func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst int, size int64, at sim.Time, done func(sim.Time)) {
+	rec := ep.net.rec
+	if rec.Sampled(tid) {
+		inner := done
+		done = func(end sim.Time) {
+			rec.Span(tid, msgtrace.StageWire, ep.node, rail, attempt, -1, at, end, size)
+			inner(end)
+		}
+		fabric.TransferTraced(ep.net.eng, ep.path(dst, size), size, fabric.ChunkFor(size), at,
+			rec, tid, ep.node, rail, attempt, done)
+		return
+	}
+	fabric.Transfer(ep.net.eng, ep.path(dst, size), size, fabric.ChunkFor(size), at, done)
 }
 
 // Eager implements dev.Endpoint (Tports queued send).

@@ -5,9 +5,7 @@ import (
 	"strings"
 
 	"mpinet/internal/cluster"
-	"mpinet/internal/metrics"
 	"mpinet/internal/mpi"
-	"mpinet/internal/trace"
 )
 
 // PlatformByName resolves the paper's interconnect names, case-insensitive:
@@ -43,17 +41,10 @@ const (
 //   - a barrier and an all-to-all (fans traffic across every fabric link).
 //
 // Everything downstream — snapshot rendering, Chrome-trace export, the
-// acceptance tests — reads the returned world.
+// acceptance tests — reads the returned world. ObserveTraced (trace.go)
+// is the same workload with per-message span tracing attached.
 func Observe(p cluster.Platform) (*mpi.World, error) {
-	w := mpi.MustWorld(mpi.Config{
-		Net:          p.New(observeNodes),
-		Procs:        observeNodes * observePPN,
-		ProcsPerNode: observePPN,
-		Metrics:      metrics.New(),
-		Timeline:     &trace.Timeline{Max: 1 << 16},
-	})
-	err := w.Run(func(r *Rank) { observeBody(r) })
-	return w, err
+	return ObserveTraced(p, 0)
 }
 
 // Rank aliases mpi.Rank so the workload body reads like an MPI program.

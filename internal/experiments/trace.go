@@ -1,0 +1,124 @@
+package experiments
+
+// trace.go drives the per-message tracing layer end to end: the traced
+// observability demo behind the commands' -tracemsgs/-blame flags, the
+// healthy traced latency decomposition, and the Postmortem acceptance
+// scenario — a fault-injected LU run whose flight-recorder dump and blame
+// report must name the failing rank and stage.
+
+import (
+	"fmt"
+	"io"
+
+	"mpinet/internal/apps"
+	"mpinet/internal/cluster"
+	"mpinet/internal/faults"
+	"mpinet/internal/metrics"
+	"mpinet/internal/mpi"
+	"mpinet/internal/msgtrace"
+	"mpinet/internal/report"
+	"mpinet/internal/trace"
+)
+
+// ObserveTraced is Observe with per-message span tracing attached: one
+// message in `every` per sender rank is traced through every layer (every
+// <= 0 leaves tracing off, so only the always-on flight ring records).
+// Sampling is a pure function of message IDs, so the recorder's contents —
+// and everything derived from them — are deterministic at any -j.
+func ObserveTraced(p cluster.Platform, every int) (*mpi.World, error) {
+	cfg := mpi.Config{
+		Net:          p.New(observeNodes),
+		Procs:        observeNodes * observePPN,
+		ProcsPerNode: observePPN,
+		Metrics:      metrics.New(),
+		Timeline:     &trace.Timeline{Max: 1 << 16},
+	}
+	if every > 0 {
+		cfg.MsgTrace = msgtrace.New(every)
+	}
+	w := mpi.MustWorld(cfg)
+	err := w.Run(func(r *Rank) { observeBody(r) })
+	return w, err
+}
+
+// TraceLatency runs a healthy Figure-1-style cross-node ping-pong with
+// every message traced, and returns the blame analysis. The analysis
+// decomposes each message's end-to-end latency into stages that sum to it
+// exactly — the per-stage view of the paper's latency curves.
+func TraceLatency(p cluster.Platform, size int64, iters, topK int) (*msgtrace.Blame, error) {
+	rec := msgtrace.New(1)
+	w := mpi.MustWorld(mpi.Config{Net: p.New(2), Procs: 2, MsgTrace: rec})
+	err := w.Run(func(r *Rank) {
+		buf := r.Malloc(size)
+		peer := 1 - r.Rank()
+		for i := 0; i < iters; i++ {
+			if r.Rank() == 0 {
+				r.Send(buf, peer, 0)
+				r.Recv(buf, peer, 1)
+			} else {
+				r.Recv(buf, peer, 0)
+				r.Send(buf, peer, 1)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec.Analyze(topK), nil
+}
+
+// Postmortem is the tracing layer's acceptance scenario: LU class S x8 on
+// a solo interconnect under uniform packet drop plus a hard rail-kill at
+// 50% of the healthy elapsed time. The run must fail with a typed error,
+// and the flight-recorder dump plus blame report written to w must name
+// the failing rank and stage (and, via the flight ring's incident
+// fallback, the message that ran out of retries). Deterministic in seed.
+func Postmortem(w io.Writer, net string, drop float64, seed uint64) error {
+	p, err := faultPlatform(net)
+	if err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed = FaultSeed
+	}
+	if drop <= 0 {
+		drop = 0.01
+	}
+	lu, err := apps.ByName("LU")
+	if err != nil {
+		return err
+	}
+	healthy, err := lu.Run(apps.RunConfig{Platform: p, Class: apps.ClassS, Procs: 8})
+	if err != nil {
+		return fmt.Errorf("experiments: postmortem calibration LU on %s: %w", p.Name, err)
+	}
+	at := healthy.Elapsed / 2
+	plan := faults.DropPlan(seed, drop)
+	plan.RailKills = []faults.RailKill{{Rail: 0, At: at}}
+	doomed := p.With(cluster.WithFaults(plan), cluster.WithSeed(seed)).
+		Named(fmt.Sprintf("%s drop=%g%% +railkill", p.Name, drop*100))
+	rec := msgtrace.New(1)
+	_, runErr := lu.Run(apps.RunConfig{
+		Platform: doomed, Class: apps.ClassS, Procs: 8, MsgTrace: rec,
+	})
+	if runErr == nil {
+		return fmt.Errorf("experiments: postmortem LU on %s survived its rail kill", p.Name)
+	}
+	fmt.Fprintf(w, "postmortem: LU class S x8 on %s, %g%% drop, link killed at %v\n",
+		p.Name, drop*100, at)
+	fmt.Fprintf(w, "job failed typed, as planned: %v\n\n", runErr)
+	rec.DumpFlight(w)
+	fmt.Fprintln(w)
+	io.WriteString(w, report.RenderBlame(rec.Analyze(5)))
+
+	f := rec.Analyze(0).Failure
+	switch {
+	case f == nil:
+		return fmt.Errorf("experiments: postmortem on %s: flight recorder never froze", p.Name)
+	case f.Rank < 0:
+		return fmt.Errorf("experiments: postmortem on %s: failure does not name a rank: %+v", p.Name, f)
+	case f.MsgID == 0:
+		return fmt.Errorf("experiments: postmortem on %s: failure does not name a message: %+v", p.Name, f)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/sim"
+)
+
+// BenchmarkTraceOverhead measures the host-time cost of per-message span
+// tracing on the observability demo workload, at the three operating points
+// the CI budget tracks: tracing off (the zero-overhead contract — the only
+// per-message residue is the always-on flight ring), the default 1-in-16
+// sampling, and full tracing. Simulated time is identical across all three
+// (tracing is observation only); what changes is host events/sec, and the
+// sampled point must stay within the warn-only 10% budget of off.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		every int
+	}{
+		{"off", 0},
+		{"sampled16", 16},
+		{"full", 1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			start := sim.TotalDispatched()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := ObserveTraced(cluster.IBA(), c.every); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			events := sim.TotalDispatched() - start
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/s")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -134,6 +135,16 @@ type xfer struct {
 	chunk   int64
 	last    int64
 	nchunks int64
+
+	// Trace fields, populated by TransferTraced for sampled messages only;
+	// rec == nil on the untraced (allocation-gated) path.
+	rec      *msgtrace.Recorder
+	tid      msgtrace.ID
+	rank     int
+	rail     int8
+	attempt  uint8
+	bytes    int64
+	hopEnter []sim.Time // per-stage entry time of chunk 0
 }
 
 // HandleEvent implements sim.Handler: chunk ci reached stage, occupy it and
@@ -150,6 +161,18 @@ func (x *xfer) HandleEvent(ci, stage int64) {
 	st := x.path[stage]
 	_, end := st.Stage.Send(x.e.Now(), n)
 	arrive := end + st.Latency
+	if x.rec != nil {
+		// Per-hop span: chunk 0 entering the stage opens it, the last chunk
+		// clearing it (plus propagation) closes it — the cut-through
+		// pipeline's residence interval at this path stage.
+		if ci == 0 {
+			x.hopEnter[stage] = x.e.Now()
+		}
+		if ci == x.nchunks-1 {
+			x.rec.Span(x.tid, msgtrace.StageHop, x.rank, x.rail, x.attempt,
+				int16(stage), x.hopEnter[stage], arrive, x.bytes)
+		}
+	}
 	if stage == 0 && ci+1 < x.nchunks {
 		// Self-clock the next chunk into the head of the path.
 		x.e.CallAt(end, x, ci+1, 0)
@@ -190,6 +213,43 @@ func Transfer(e *sim.Engine, path []PathStage, size, chunk int64, start sim.Time
 		chunk:   chunk,
 		last:    size - (nchunks-1)*chunk,
 		nchunks: nchunks,
+	}
+	e.CallAt(start, x, 0, 0)
+}
+
+// TransferTraced is Transfer plus per-hop span recording for a sampled
+// message: each path stage's residence interval is recorded as a StageHop
+// span carrying the hop index, rail and attempt. Unsampled messages fall
+// through to the plain (allocation-gated) Transfer, so callers may use this
+// unconditionally with a live recorder.
+func TransferTraced(e *sim.Engine, path []PathStage, size, chunk int64, start sim.Time,
+	rec *msgtrace.Recorder, tid msgtrace.ID, rank int, rail int8, attempt uint8, done func(end sim.Time)) {
+	if !rec.Sampled(tid) || len(path) == 0 {
+		Transfer(e, path, size, chunk, start, done)
+		return
+	}
+	if chunk <= 0 {
+		panic("fabric: non-positive chunk")
+	}
+	if size <= 0 {
+		size = 1
+	}
+	nchunks := (size + chunk - 1) / chunk
+	x := &xfer{
+		e:       e,
+		path:    path,
+		done:    done,
+		chunk:   chunk,
+		last:    size - (nchunks-1)*chunk,
+		nchunks: nchunks,
+
+		rec:      rec,
+		tid:      tid,
+		rank:     rank,
+		rail:     rail,
+		attempt:  attempt,
+		bytes:    size,
+		hopEnter: make([]sim.Time, len(path)),
 	}
 	e.CallAt(start, x, 0, 0)
 }

@@ -31,6 +31,7 @@ import (
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -111,6 +112,7 @@ type Network struct {
 	nodes []*nodeHW
 	met   *metrics.Registry
 	inj   *faults.Injector
+	rec   *msgtrace.Recorder
 }
 
 type nodeHW struct {
@@ -204,6 +206,9 @@ func (n *Network) ShmemBelow() int64 { return math.MaxInt64 }
 
 // FaultPlan implements dev.FaultPlanner (nil when faults are off).
 func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
+// AttachTracer implements dev.TraceAttacher.
+func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
 
 // ShmemConfig returns the intra-node channel parameters for MPICH-GM, whose
 // shared-memory path has the lowest small-message cost of the three
@@ -437,9 +442,11 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 		}
 		deliver()
 	}
+	rec := ep.net.rec
+	tid, rail := rec.Cur(), rec.CurRail()
 	inj := ep.net.inj
 	if inj == nil || dst == ep.node {
-		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) { finish() })
+		ep.wireAttempt(tid, rail, 0, dst, size, eng.Now(), func(sim.Time) { finish() })
 		return
 	}
 	start := eng.Now() + inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
@@ -451,7 +458,7 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 	attempt := 1
 	var try func(at sim.Time)
 	try = func(at sim.Time) {
-		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+		ep.wireAttempt(tid, rail, uint8(attempt-1), dst, size, at,
 			func(end sim.Time) {
 				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
 					finish()
@@ -469,6 +476,8 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 				delay := gmRetry.Delay(attempt)
 				attempt++
 				ep.retried()
+				rec.Flight(msgtrace.FlightRetransmit, end, ep.node, tid, msgtrace.StageWire, int64(attempt-1), int64(dst))
+				rec.Span(tid, msgtrace.StageBackoff, ep.node, rail, uint8(attempt-1), -1, end, end+delay, size)
 				eng.At(end+delay, func() {
 					src.lanai.Use(eng.Now(), ackProcess)
 					try(eng.Now())
@@ -476,6 +485,24 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 			})
 	}
 	try(start)
+}
+
+// wireAttempt runs one transfer attempt over the staged path, recording the
+// attempt's wire span (and per-hop fabric detail) when the message is
+// sampled; unsampled messages take the plain zero-extra-cost path.
+func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst int, size int64, at sim.Time, done func(sim.Time)) {
+	rec := ep.net.rec
+	if rec.Sampled(tid) {
+		inner := done
+		done = func(end sim.Time) {
+			rec.Span(tid, msgtrace.StageWire, ep.node, rail, attempt, -1, at, end, size)
+			inner(end)
+		}
+		fabric.TransferTraced(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+			rec, tid, ep.node, rail, attempt, done)
+		return
+	}
+	fabric.Transfer(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at, done)
 }
 
 // Eager implements dev.Endpoint (gm_send into a pre-posted receive buffer).

@@ -24,7 +24,21 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   *uint64        `json:"id,omitempty"` // flow binding id ("s"/"f" pairs)
+	Bp   string         `json:"bp,omitempty"` // flow bind point ("e": enclosing)
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// Flow is one message-flow arrow: Chrome draws it from the source lane at
+// Start to the destination lane at End (flow-start "s" / flow-finish "f"
+// event pair bound by ID). The tracing layer emits one per sampled message.
+type Flow struct {
+	ID                 uint64 // binding id, unique per arrow
+	Name               string // arrow label (e.g. "msg eager 1KB")
+	SrcNode, DstNode   int
+	SrcTrack, DstTrack string
+	Start, End         units.Time
+	Args               map[string]any // optional arrow metadata
 }
 
 func toMicros(t units.Time) float64 { return float64(t) / 1e6 }
@@ -39,6 +53,15 @@ func toMicros(t units.Time) float64 { return float64(t) / 1e6 }
 // pass nil when events is empty. Output is deterministic: tids are
 // assigned by sorted (node, track) order and encoding/json sorts arg keys.
 func WriteChromeTrace(w io.Writer, spans []Span, events []trace.Event, nodeOf func(rank int) int) error {
+	return WriteChromeTraceWithFlows(w, spans, events, nodeOf, nil)
+}
+
+// WriteChromeTraceWithFlows is WriteChromeTrace plus message-flow arrows:
+// each Flow becomes a flow-start ("s") event on its source lane and a
+// flow-finish ("f", bind point "e") event on its destination lane, so the
+// viewer draws a causal arrow from send to delivery. With flows == nil the
+// output is byte-identical to WriteChromeTrace.
+func WriteChromeTraceWithFlows(w io.Writer, spans []Span, events []trace.Event, nodeOf func(rank int) int, flows []Flow) error {
 	type lane struct {
 		node  int
 		track string
@@ -63,6 +86,10 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []trace.Event, nodeOf fu
 	}
 	for _, e := range events {
 		note(rankLane(e.Rank))
+	}
+	for _, f := range flows {
+		note(lane{f.SrcNode, f.SrcTrack})
+		note(lane{f.DstNode, f.DstTrack})
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].node != order[j].node {
@@ -110,6 +137,23 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []trace.Event, nodeOf fu
 			S: "t", Args: args,
 		}
 		out = append(out, ev)
+	}
+	for i := range flows {
+		f := &flows[i]
+		out = append(out,
+			chromeEvent{
+				Name: f.Name, Cat: "msg-flow", Ph: "s",
+				Ts: toMicros(f.Start), Pid: f.SrcNode,
+				Tid: lanes[lane{f.SrcNode, f.SrcTrack}],
+				ID:  &f.ID, Args: f.Args,
+			},
+			chromeEvent{
+				Name: f.Name, Cat: "msg-flow", Ph: "f", Bp: "e",
+				Ts: toMicros(f.End), Pid: f.DstNode,
+				Tid: lanes[lane{f.DstNode, f.DstTrack}],
+				ID:  &f.ID,
+			},
+		)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {

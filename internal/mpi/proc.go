@@ -6,6 +6,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 	"mpinet/internal/units"
@@ -31,6 +32,12 @@ type procState struct {
 
 	hostBusy sim.Time
 	sendSeq  int64
+
+	// watchdog is the rank's reusable wait timer (see waitFor): allocated on
+	// first armed wait, then Arm/Stop per wait with zero allocations.
+	// waitFor is not reentrant per rank, so one timer suffices.
+	watchdog *sim.Timer
+	wdFired  bool
 
 	// waitWhy is the rank's default wait reason ("rank<N>:wait"), built
 	// once: waitOne runs on every blocking completion, and formatting the
@@ -121,6 +128,7 @@ type inMsg struct {
 	src, tag int // src is a world rank
 	size     int64
 	seq      int64
+	tid      msgtrace.ID // trace context, carried sender -> receiver
 	kind     msgKind
 	ch       chKind
 	sender   *Request // rendezvous: the sender's request, for CTS routing
@@ -177,14 +185,20 @@ func (ps *procState) poll(p *sim.Proc) {
 // attributed error.
 func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
 	w := ps.world
-	var timedOut bool
-	var watchdog *sim.Timer
 	if w.cfg.Timeout > 0 {
-		watchdog = w.eng.AfterTimer(w.cfg.Timeout, func() {
-			timedOut = true
-			ps.progress.Broadcast()
-		})
-		defer watchdog.Stop()
+		// The watchdog is a reusable per-rank timer: one allocation the first
+		// time this rank waits on a watched world, then Arm/Stop per wait —
+		// the allocation-free pattern the engine's generation-stamped timers
+		// exist for.
+		if ps.watchdog == nil {
+			ps.watchdog = w.eng.NewTimer(func() {
+				ps.wdFired = true
+				ps.progress.Broadcast()
+			})
+		}
+		ps.wdFired = false
+		ps.watchdog.Arm(w.cfg.Timeout)
+		defer ps.watchdog.Stop()
 	}
 	for {
 		ps.poll(p)
@@ -194,7 +208,10 @@ func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
 		if pred() {
 			return
 		}
-		if timedOut {
+		if ps.wdFired {
+			now := w.eng.Now()
+			w.rec.Flight(msgtrace.FlightTimeout, now, ps.rank, 0, msgtrace.StageWait, int64(w.cfg.Timeout), 0)
+			w.rec.Freeze("watchdog timeout: "+why, now, ps.rank, msgtrace.StageWait, 0)
 			w.fail(&TimeoutError{Rank: ps.rank, Op: why, After: w.cfg.Timeout})
 			panic(&jobAbort{err: w.fault})
 		}

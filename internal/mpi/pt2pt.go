@@ -5,6 +5,7 @@ import (
 
 	"mpinet/internal/dev"
 	"mpinet/internal/memreg"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 	"mpinet/internal/units"
@@ -55,14 +56,19 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 	}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
+	req.tid = msgtrace.MakeID(ps.rank, req.seq)
 	ps.record(trace.EvSendStart, dst, tag, comm, buf.Size)
 
+	rec := ps.world.rec
 	switch {
 	case sameNode && buf.Size < ps.world.shmemBelow():
+		rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindShmem, req.born)
 		ps.shmSend(p, req, dstPS)
 	case buf.Size <= ps.ep.EagerThreshold():
+		rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindEager, req.born)
 		ps.eagerSend(p, req, dstPS)
 	default:
+		rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindRndv, req.born)
 		ps.rndvSend(p, req, dstPS)
 	}
 	return req
@@ -73,9 +79,15 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 func (ps *procState) shmSend(p *sim.Proc, req *Request, dstPS *procState) {
 	ch := ps.world.shm[ps.node]
 	copyCost := ch.CopyTime(req.size)
+	start := ps.world.eng.Now()
 	ps.busy(p, ch.HalfHandshake()+copyCost)
 	ch.CountCopy(req.size, copyCost)
-	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chShm}
+	if rec := ps.world.rec; rec.Sampled(req.tid) {
+		now := ps.world.eng.Now()
+		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, now-copyCost, req.size)
+		rec.Span(req.tid, msgtrace.StageCopy, ps.rank, -1, 0, -1, now-copyCost, now, req.size)
+	}
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, tid: req.tid, kind: eagerMsg, ch: chShm}
 	ch.Deliver(func() { dstPS.arrive(m) })
 	req.done = true
 	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
@@ -85,16 +97,30 @@ func (ps *procState) shmSend(p *sim.Proc, req *Request, dstPS *procState) {
 // eagerSend copies into pre-registered staging (VAPI/GM) or hands the user
 // buffer to the NIC (Elan) and pushes envelope+payload through the wire.
 func (ps *procState) eagerSend(p *sim.Proc, req *Request, dstPS *procState) {
-	cost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size)
+	rec := ps.world.rec
+	sendCost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size)
+	var regCost, copyCost sim.Time
 	if ps.ep.AcquireOnEager() {
-		cost += ps.ep.AcquireBuf(req.buf)
+		regCost = ps.ep.AcquireBuf(req.buf)
 	} else {
-		cost += ps.ep.CopyTime(req.size)
+		copyCost = ps.ep.CopyTime(req.size)
 		ps.eagerCopies.Inc()
 	}
-	ps.busy(p, cost)
-	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: eagerMsg, ch: chNet}
+	start := ps.world.eng.Now()
+	ps.busy(p, sendCost+regCost+copyCost)
+	if rec.Sampled(req.tid) {
+		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, start+sendCost, req.size)
+		if ps.ep.AcquireOnEager() {
+			// Zero-length span = registration cache hit; a real observation.
+			rec.Span(req.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start+sendCost, start+sendCost+regCost, req.size)
+		} else {
+			rec.Span(req.tid, msgtrace.StageCopy, ps.rank, -1, 0, -1, start+sendCost, start+sendCost+copyCost, req.size)
+		}
+	}
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, tid: req.tid, kind: eagerMsg, ch: chNet}
+	rec.SetCur(req.tid)
 	ps.ep.Eager(dstPS.node, req.size, func() { dstPS.arrive(m) })
+	rec.ClearCur()
 	req.done = true
 	ps.record(trace.EvSendDone, req.peer, req.tag, req.comm, req.size)
 	ps.finishReq(req, "send")
@@ -104,10 +130,20 @@ func (ps *procState) eagerSend(p *sim.Proc, req *Request, dstPS *procState) {
 // for the CTS/data exchange to complete the request.
 func (ps *procState) rndvSend(p *sim.Proc, req *Request, dstPS *procState) {
 	req.rndv = true
-	cost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size) + ps.ep.AcquireBuf(req.buf)
-	ps.busy(p, cost)
-	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, kind: rtsMsg, ch: chNet, sender: req}
+	rec := ps.world.rec
+	sendCost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size)
+	regCost := ps.ep.AcquireBuf(req.buf)
+	start := ps.world.eng.Now()
+	ps.busy(p, sendCost+regCost)
+	if rec.Sampled(req.tid) {
+		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, start+sendCost, req.size)
+		rec.Span(req.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start+sendCost, start+sendCost+regCost, req.size)
+	}
+	req.hsStart = ps.world.eng.Now()
+	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, tid: req.tid, kind: rtsMsg, ch: chNet, sender: req}
+	rec.SetCur(req.tid)
 	ps.ep.Control(dstPS.node, func() { dstPS.arrive(m) })
+	rec.ClearCur()
 }
 
 // arrive handles a message landing at this rank (event context: no host
@@ -116,6 +152,14 @@ func (ps *procState) rndvSend(p *sim.Proc, req *Request, dstPS *procState) {
 func (ps *procState) arrive(m *inMsg) {
 	if nm, ok := ps.ep.(dev.NICMatcher); ok && m.ch == chNet {
 		pending := len(ps.posted) + len(ps.unexp)
+		if rec := ps.world.rec; rec.Sampled(m.tid) {
+			start := ps.world.eng.Now()
+			nm.MatchDelay(pending, func() {
+				rec.Span(m.tid, msgtrace.StageMatch, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+				ps.arriveMatched(m)
+			})
+			return
+		}
 		nm.MatchDelay(pending, func() { ps.arriveMatched(m) })
 		return
 	}
@@ -133,6 +177,10 @@ func (ps *procState) arriveMatched(m *inMsg) {
 	}
 	r.matched = m
 	m.matched = true
+	// The receive was posted first and waited for this arrival: the gap is
+	// the receiver's exposed wait (clipped to the message's own interval by
+	// the blame decomposition).
+	ps.world.rec.Span(m.tid, msgtrace.StageWait, ps.rank, -1, 0, -1, r.born, ps.world.eng.Now(), m.size)
 	switch m.kind {
 	case eagerMsg:
 		ps.deliverEager(r, m, false)
@@ -148,6 +196,14 @@ func (ps *procState) arriveMatched(m *inMsg) {
 // devices with a pre-posted receive, completion is free and immediate).
 func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*sim.Proc) {
 	finish := func() { r.complete(m.src, m.tag, m.size) }
+	// work charges the completion cost on the rank's process and records the
+	// receive-side span over exactly the charged interval.
+	work := func(p *sim.Proc, cost sim.Time) {
+		start := ps.world.eng.Now()
+		ps.busy(p, cost)
+		ps.world.rec.Span(m.tid, msgtrace.StageDeliver, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+		finish()
+	}
 	switch {
 	case m.ch == chShm:
 		ch := ps.world.shm[ps.node]
@@ -155,10 +211,9 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 		ch.CountCopy(m.size, copyCost)
 		cost := ch.HalfHandshake() + copyCost
 		if inline {
-			ps.busy(pOpt[0], cost)
-			finish()
+			work(pOpt[0], cost)
 		} else {
-			ps.enqueue(func(p *sim.Proc) { ps.busy(p, cost); finish() })
+			ps.enqueue(func(p *sim.Proc) { work(p, cost) })
 		}
 	case ps.ep.NICProgress() && !inline:
 		// Pre-posted receive on a NIC-matching device: payload lands in the
@@ -167,16 +222,14 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 	case ps.ep.NICProgress() && inline:
 		// Unexpected on a NIC-matching device: drain from NIC buffering.
 		ps.eagerCopies.Inc()
-		ps.busy(pOpt[0], ps.ep.CopyTime(m.size))
-		finish()
+		work(pOpt[0], ps.ep.CopyTime(m.size))
 	default:
 		ps.eagerCopies.Inc()
 		cost := ps.ep.RecvOverhead(m.size) + ps.ep.CopyTime(m.size)
 		if inline {
-			ps.busy(pOpt[0], cost)
-			finish()
+			work(pOpt[0], cost)
 		} else {
-			ps.enqueue(func(p *sim.Proc) { ps.busy(p, cost); finish() })
+			ps.enqueue(func(p *sim.Proc) { work(p, cost) })
 		}
 	}
 }
@@ -185,20 +238,30 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 // and send the CTS. On NIC-matching devices the NIC does this without the
 // host.
 func (ps *procState) acceptRndv(r *Request, m *inMsg, inline bool, pOpt ...*sim.Proc) {
+	rec := ps.world.rec
 	sendCTS := func() {
 		srcPS := ps.world.procs[m.src]
+		rec.SetCur(m.tid)
 		ps.ep.Control(srcPS.node, func() { srcPS.arriveCTS(m, ps, r) })
+		rec.ClearCur()
+	}
+	// prep registers the receive buffer and parses the RTS on the host,
+	// recording the acquire as the receiver's registration span.
+	prep := func(p *sim.Proc) {
+		start := ps.world.eng.Now()
+		ps.busy(p, rndvStep+ps.ep.AcquireBuf(r.buf))
+		rec.Span(m.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
 	}
 	switch {
 	case ps.ep.NICProgress():
 		// Buffer acquisition was paid when the receive was posted.
 		sendCTS()
 	case inline:
-		ps.busy(pOpt[0], rndvStep+ps.ep.AcquireBuf(r.buf))
+		prep(pOpt[0])
 		sendCTS()
 	default:
 		ps.enqueue(func(p *sim.Proc) {
-			ps.busy(p, rndvStep+ps.ep.AcquireBuf(r.buf))
+			prep(p)
 			sendCTS()
 		})
 	}
@@ -207,7 +270,12 @@ func (ps *procState) acceptRndv(r *Request, m *inMsg, inline bool, pOpt ...*sim.
 // arriveCTS reacts, at the sender, to the receiver's clear-to-send: start
 // the zero-copy bulk transfer.
 func (ps *procState) arriveCTS(m *inMsg, dstPS *procState, r *Request) {
+	rec := ps.world.rec
+	// The RTS->CTS round trip the sender just completed is the rendezvous
+	// handshake: it started when the RTS left (hsStart) and ends now.
+	rec.Span(m.tid, msgtrace.StageHandshake, ps.rank, -1, 0, -1, m.sender.hsStart, ps.world.eng.Now(), m.size)
 	startBulk := func() {
+		rec.SetCur(m.tid)
 		ps.ep.Bulk(dstPS.node, m.size, func() {
 			// Payload is in the receiver's user buffer.
 			m.sender.completeSend()
@@ -215,18 +283,23 @@ func (ps *procState) arriveCTS(m *inMsg, dstPS *procState, r *Request) {
 				r.complete(m.src, m.tag, m.size)
 			} else {
 				dstPS.enqueue(func(p *sim.Proc) {
+					start := dstPS.world.eng.Now()
 					dstPS.busy(p, dstPS.ep.RecvOverhead(m.size))
+					rec.Span(m.tid, msgtrace.StageDeliver, dstPS.rank, -1, 0, -1, start, dstPS.world.eng.Now(), m.size)
 					r.complete(m.src, m.tag, m.size)
 				})
 			}
 		})
+		rec.ClearCur()
 	}
 	if ps.ep.NICProgress() {
 		startBulk()
 		return
 	}
 	ps.enqueue(func(p *sim.Proc) {
+		start := ps.world.eng.Now()
 		ps.busy(p, rndvStep)
+		rec.Span(m.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
 		startBulk()
 	})
 }

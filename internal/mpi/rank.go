@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpinet/internal/memreg"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 )
@@ -68,7 +69,9 @@ func (r *Rank) Ssend(buf memreg.Buf, dst, tag int) {
 	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.world.eng.Now()}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
+	req.tid = msgtrace.MakeID(ps.rank, req.seq)
 	ps.record(trace.EvSendStart, dst, tag, commWorldID, buf.Size)
+	ps.world.rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindRndv, req.born)
 	ps.rndvSend(r.p, req, dstPS)
 	r.waitOne(req)
 }

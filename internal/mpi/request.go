@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"mpinet/internal/memreg"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
 )
@@ -16,18 +17,20 @@ type Status struct {
 // Request is a non-blocking operation handle, completed through Wait /
 // Waitall.
 type Request struct {
-	ps     *procState
-	isSend bool
-	buf    memreg.Buf
-	comm   int // communicator context id
-	peer   int // destination (sends) — senders always name their target
-	src    int // source pattern (receives); may be AnySource
-	tag    int
-	size   int64
-	seq    int64
-	born   sim.Time // post time, for request-lifetime accounting
-	rndv   bool
-	done   bool
+	ps      *procState
+	isSend  bool
+	buf     memreg.Buf
+	comm    int // communicator context id
+	peer    int // destination (sends) — senders always name their target
+	src     int // source pattern (receives); may be AnySource
+	tag     int
+	size    int64
+	seq     int64
+	tid     msgtrace.ID // sends: the message's trace ID
+	born    sim.Time    // post time, for request-lifetime accounting
+	hsStart sim.Time    // rendezvous sends: when the RTS left, for the handshake span
+	rndv    bool
+	done    bool
 
 	matched *inMsg // receives: the arrival this request is bound to
 	status  Status
@@ -52,6 +55,9 @@ func (r *Request) complete(src, tag int, size int64) {
 	r.done = true
 	r.status = Status{Source: src, Tag: tag, Size: size}
 	r.ps.removePosted(r)
+	if r.matched != nil {
+		r.ps.world.rec.Finish(r.matched.tid, r.ps.world.eng.Now())
+	}
 	r.ps.record(trace.EvRecvDone, src, tag, r.comm, size)
 	r.ps.finishReq(r, "recv")
 	r.ps.notify()

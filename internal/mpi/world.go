@@ -19,6 +19,7 @@ import (
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
@@ -57,6 +58,13 @@ type Config struct {
 	// when the network carries a fault plan (dev.FaultPlanner), off
 	// otherwise; negative disables the watchdog unconditionally.
 	Timeout sim.Time
+	// MsgTrace, when non-nil, enables per-message span tracing: every send
+	// is assigned a trace ID and sampled messages record typed stage spans
+	// across the MPI library, the rail bond, the NIC models and the fabric
+	// (see internal/msgtrace). When nil the world still owns a disabled
+	// recorder whose always-on flight ring captures recent incidents for
+	// the failure postmortem.
+	MsgTrace *msgtrace.Recorder
 }
 
 // ConfigError is a Config validation failure attributed to the option
@@ -107,6 +115,7 @@ type World struct {
 	procs []*procState
 	shm   map[int]*shmem.Channel
 	met   *metrics.Registry
+	rec   *msgtrace.Recorder
 	start sim.Time
 	end   sim.Time
 	// fault is the first fatal job error (device retry exhaustion, watchdog
@@ -151,6 +160,16 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		w.eng.Instrument(w.met)
 	}
+	// Every world owns a recorder: the configured one (span tracing on) or a
+	// disabled one whose always-on flight ring still captures incidents for
+	// the failure postmortem. The device layers read trace context from it.
+	w.rec = cfg.MsgTrace
+	if w.rec == nil {
+		w.rec = msgtrace.Disabled()
+	}
+	if ta, ok := cfg.Net.(dev.TraceAttacher); ok {
+		ta.AttachTracer(w.rec)
+	}
 	type shmemConfigurer interface{ ShmemConfig() shmem.Config }
 	shmCfg := shmem.DefaultConfig()
 	if sc, ok := cfg.Net.(shmemConfigurer); ok {
@@ -180,6 +199,9 @@ func NewWorld(cfg Config) (*World, error) {
 		if fr, ok := ps.ep.(dev.FaultReporter); ok {
 			rank, node := ps.rank, ps.node
 			fr.OnFault(func(err error) {
+				// Freeze the flight ring at the original sin: the recorder
+				// fills in the failing message from its last incident entry.
+				w.rec.Freeze("device fault: "+err.Error(), w.eng.Now(), rank, msgtrace.StageWire, 0)
 				w.fail(fmt.Errorf("mpi: rank %d (node %d): %w", rank, node, err))
 			})
 		}
@@ -210,6 +232,12 @@ func MustWorld(cfg Config) *World {
 func (w *World) fail(err error) {
 	if w.fault == nil {
 		w.fault = err
+		// Fallback freeze for failure paths that did not freeze with more
+		// specific blame (truncation, direct aborts); the first freeze wins,
+		// so this is a no-op after a watchdog or device-fault freeze.
+		now := w.eng.Now()
+		w.rec.Flight(msgtrace.FlightAbort, now, -1, 0, 0, 0, 0)
+		w.rec.Freeze("job abort: "+err.Error(), now, -1, msgtrace.NumStages, 0)
 	}
 	for _, ps := range w.procs {
 		ps.progress.Broadcast()
@@ -289,7 +317,9 @@ func (w *World) Metrics() *metrics.Registry { return w.met }
 // WriteChromeTrace emits the run as Chrome trace_event JSON (load in
 // chrome://tracing or Perfetto): device spans from the metrics registry fused
 // with the message timeline's instants, one trace process per node plus one
-// for the switching fabric. Works with either source missing.
+// for the switching fabric. Works with either source missing. When message
+// tracing is on, every sampled message additionally becomes a flow arrow
+// from its sender's rank lane at post time to its receiver's at delivery.
 func (w *World) WriteChromeTrace(out io.Writer) error {
 	var spans []metrics.Span
 	if w.met != nil {
@@ -299,8 +329,36 @@ func (w *World) WriteChromeTrace(out io.Writer) error {
 	if w.cfg.Timeline != nil {
 		events = w.cfg.Timeline.Events
 	}
-	return metrics.WriteChromeTrace(out, spans, events, w.nodeOf)
+	var flows []metrics.Flow
+	for _, m := range w.rec.Msgs() {
+		if m.End <= m.Start {
+			continue // never delivered (aborted run); no arrowhead to draw
+		}
+		flows = append(flows, metrics.Flow{
+			ID:       uint64(m.ID),
+			Name:     fmt.Sprintf("msg %s %dB", m.Kind, m.Bytes),
+			SrcNode:  w.nodeOf(int(m.Src)),
+			SrcTrack: fmt.Sprintf("rank%d", m.Src),
+			DstNode:  w.nodeOf(int(m.Dst)),
+			DstTrack: fmt.Sprintf("rank%d", m.Dst),
+			Start:    m.Start,
+			End:      m.End,
+			Args: map[string]any{
+				"src": m.Src, "dst": m.Dst, "tag": m.Tag, "bytes": m.Bytes,
+			},
+		})
+	}
+	return metrics.WriteChromeTraceWithFlows(out, spans, events, w.nodeOf, flows)
 }
+
+// MsgTrace returns the world's message-trace recorder: the one configured
+// via Config.MsgTrace, or the default disabled recorder whose always-on
+// flight ring still captured recent incidents. Never nil.
+func (w *World) MsgTrace() *msgtrace.Recorder { return w.rec }
+
+// FlightDump writes the flight-recorder postmortem: the ring frozen at the
+// first failure if the run failed, the live ring otherwise.
+func (w *World) FlightDump(out io.Writer) { w.rec.DumpFlight(out) }
 
 // Elapsed returns the simulated wall-clock time of the last Run.
 func (w *World) Elapsed() sim.Time { return w.end - w.start }
@@ -393,3 +451,6 @@ func (c *Config) SetMetrics(m *metrics.Registry) { c.Metrics = m }
 
 // SetTimeout sets Config.Timeout.
 func (c *Config) SetTimeout(d sim.Time) { c.Timeout = d }
+
+// SetMsgTrace sets Config.MsgTrace.
+func (c *Config) SetMsgTrace(rec *msgtrace.Recorder) { c.MsgTrace = rec }

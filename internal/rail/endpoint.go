@@ -7,6 +7,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
@@ -36,8 +37,13 @@ type op struct {
 	size int64
 	seq  uint64 // per-(src,dst) order stamp; unused on stripe chunks
 	born sim.Time
-	fire func() // the MPI layer's deliver callback
-	done bool   // landed or permanently failed; late deliveries suppressed
+	fire func()      // the MPI layer's deliver callback
+	done bool        // landed or permanently failed; late deliveries suppressed
+	tid  msgtrace.ID // trace context captured at send, carried across re-issues
+	// attempt counts bond-level issues of this op (0 on the first), so
+	// failover re-issues are distinguishable from the original in the trace
+	// — the NIC's own retry counter restarts per rail.
+	attempt uint8
 
 	// striping state: chunks carry parent; the parent op itself is never
 	// issued on a device, it completes when its last chunk lands.
@@ -199,6 +205,7 @@ func (n *Network) send(ep *endpoint, kind opKind, dst int, size int64, deliver f
 		seq:  pr.sendSeq,
 		born: n.eng.Now(),
 		fire: deliver,
+		tid:  n.rec.Cur(),
 	}
 	pr.sendSeq++
 	n.armMonitors()
@@ -217,11 +224,31 @@ func (n *Network) send(ep *endpoint, kind opKind, dst int, size int64, deliver f
 }
 
 // issue hands the operation (or stripe chunk) to one member rail and
-// tracks it in that rail's in-flight FIFO until it lands or fails.
+// tracks it in that rail's in-flight FIFO until it lands or fails. The
+// trace context is (re)installed around the member dispatch so the device
+// model picks up the message ID and rail index — on the first issue this
+// mirrors the MPI layer's own scoped handoff; on a failover re-issue (an
+// event context with no caller-installed scope) it is what keeps the
+// re-issued operation attached to its original message.
 func (ep *endpoint) issue(o *op, r int) {
 	ep.pending[r] = append(ep.pending[r], o)
 	ep.net.inflight++
+	rec := ep.net.rec
+	if rec.Sampled(o.tid) {
+		// Zero-length marker on the first issue (the selection decision);
+		// on a re-issue the span covers born->now, the time the message
+		// spent on rails that failed under it — the failover penalty the
+		// blame analyzer charges to the rail layer.
+		start := ep.net.eng.Now()
+		if o.attempt > 0 {
+			start = o.born
+		}
+		rec.Span(o.tid, msgtrace.StageRail, ep.node, int8(r), o.attempt, -1,
+			start, ep.net.eng.Now(), o.size)
+	}
 	cb := func() { ep.landed(o, r) }
+	rec.SetCur(o.tid)
+	rec.SetCurRail(int8(r))
 	switch o.kind {
 	case opEager:
 		ep.eps[r].Eager(o.dst, o.size, cb)
@@ -230,6 +257,7 @@ func (ep *endpoint) issue(o *op, r int) {
 	default:
 		ep.eps[r].Bulk(o.dst, o.size, cb)
 	}
+	rec.ClearCur()
 }
 
 // stripe splits a bulk across the given rails: an even split with the
@@ -244,7 +272,7 @@ func (ep *endpoint) stripe(o *op, set []int) {
 		if i == 0 {
 			sz += rem
 		}
-		c := &op{ep: ep, kind: opBulk, dst: o.dst, size: sz, born: o.born, parent: o}
+		c := &op{ep: ep, kind: opBulk, dst: o.dst, size: sz, born: o.born, parent: o, tid: o.tid}
 		ep.net.stripeChunks.Inc()
 		ep.issue(c, r)
 	}
@@ -325,6 +353,11 @@ func (ep *endpoint) railFailed(r int, err error) {
 		top = o.parent
 	}
 	n.pairOf(ep.node, top.dst).epoch++
+	if o.attempt < ^uint8(0) {
+		o.attempt++
+	}
+	n.rec.Flight(msgtrace.FlightFailover, n.eng.Now(), ep.node, o.tid,
+		msgtrace.StageRail, int64(r), int64(nr))
 	ep.issue(o, nr)
 }
 
@@ -360,6 +393,11 @@ func (ep *endpoint) allDown(o *op, last error) {
 		top = o.parent
 		top.done = true
 	}
+	// Stamp the doomed operation into the flight ring before escalating:
+	// the MPI layer's freeze site sees only an error, and this entry is
+	// what lets the recorder name the message that ran out of rails.
+	ep.net.rec.Flight(msgtrace.FlightRailDown, ep.net.eng.Now(), ep.node, o.tid,
+		msgtrace.StageRail, int64(len(ep.net.rails)), o.wire())
 	ep.fail(&AllRailsError{
 		Src:   ep.node,
 		Dst:   top.dst,

@@ -3,6 +3,7 @@ package rail
 import (
 	"mpinet/internal/dev"
 	"mpinet/internal/faults"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/sim"
 )
 
@@ -255,6 +256,10 @@ func (m *monitor) to(s State) {
 		m.net.suspects.Inc()
 	case Dead:
 		m.net.deaths.Inc()
+		// Rail deaths go straight to the always-on flight ring: they are
+		// exactly the "what just happened" context a post-mortem dump needs.
+		m.net.rec.Flight(msgtrace.FlightRailDown, m.net.eng.Now(), -1, 0,
+			msgtrace.StageRail, int64(m.rail), 0)
 	}
 	m.state = s
 	if s == Healthy {

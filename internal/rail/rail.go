@@ -42,6 +42,7 @@ import (
 	"mpinet/internal/dev"
 	"mpinet/internal/faults"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -196,6 +197,7 @@ type Network struct {
 	eps   []*endpoint // every bonded endpoint, for stall scanning
 
 	pairs map[[2]int]*pair
+	rec   *msgtrace.Recorder // message tracer (nil-safe when never attached)
 	// issued counts bond-level operations; the monitors use it (with the
 	// in-flight count) to disarm heartbeats when the job goes quiet, so the
 	// event queue always drains.
@@ -303,6 +305,19 @@ func (n *Network) FaultPlan() *faults.Plan {
 		}
 	}
 	return nil
+}
+
+// AttachTracer implements dev.TraceAttacher: the bond keeps the recorder
+// for its own dispatch, failover and rail-death records and forwards it to
+// every member fabric, so a message traced through the bond carries both the
+// bond-level StageRail spans and the member device's wire/hop spans.
+func (n *Network) AttachTracer(rec *msgtrace.Recorder) {
+	n.rec = rec
+	for _, r := range n.rails {
+		if ta, ok := r.(dev.TraceAttacher); ok {
+			ta.AttachTracer(rec)
+		}
+	}
 }
 
 // InstrumentMetrics implements metrics.Instrumentable: the bond's own
@@ -430,6 +445,7 @@ func (n *Network) armMonitors() {
 }
 
 var _ dev.Network = (*Network)(nil)
+var _ dev.TraceAttacher = (*Network)(nil)
 var _ dev.FaultPlanner = (*Network)(nil)
 var _ dev.UtilizationReporter = (*Network)(nil)
 var _ metrics.Instrumentable = (*Network)(nil)

@@ -69,20 +69,47 @@ type funcHandler func()
 // HandleEvent implements Handler by calling the wrapped func.
 func (f funcHandler) HandleEvent(int64, int64) { f() }
 
-// Timer is a cancellable scheduled callback (see Engine.AfterTimer). It
-// implements Handler so its event record needs no closure beyond the fn the
-// caller supplied.
+// Timer is a cancellable, re-armable scheduled callback (see
+// Engine.NewTimer and Engine.AfterTimer). It implements Handler so its
+// event record needs no closure beyond the fn the caller supplied, and it
+// is reusable: Arm after Stop (or after firing) queues a fresh deadline on
+// the same object, so a long-lived watchdog costs one allocation for its
+// whole life instead of one per wait. Each Arm stamps a fresh generation
+// number into the queued event's argument word; an event whose stamp no
+// longer matches the timer's current generation is stale and is discarded
+// at the head of the queue exactly like a stopped timer's event.
 type Timer struct {
 	eng   *Engine
 	fn    func()
-	state uint8
+	gen   int64 // generation of the currently live event
+	armed bool  // a live event with stamp gen sits in the queue
 }
 
-const (
-	timerArmed uint8 = iota
-	timerStopped
-	timerDone // fired, dropped at head, or removed by compaction
-)
+// NewTimer returns an unarmed reusable timer that runs fn when it fires.
+// This is the allocation-conscious form: allocate once at wiring time, then
+// Arm/Stop per use for free.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{eng: e, fn: fn}
+}
+
+// Arm schedules the timer to fire after delay. Arming an already-armed
+// timer supersedes the earlier deadline: the old event becomes stale and is
+// dropped when it surfaces (or is compacted away), exactly as if it had
+// been stopped.
+func (t *Timer) Arm(delay Time) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e := t.eng
+	if t.armed {
+		// The previously queued event is now stale.
+		e.stoppedTimers++
+	}
+	t.gen++
+	t.armed = true
+	e.enqueue(event{at: e.now + delay, h: t, a: t.gen})
+	e.maybeCompact()
+}
 
 // Stop cancels the timer. A stopped timer's event is discarded when it
 // reaches the head of the queue — without advancing the clock or counting
@@ -90,19 +117,25 @@ const (
 // its timing nor its deadlock detection sees them. When stopped timers
 // accumulate faster than they surface (per-wait watchdogs under a fault
 // plan arm one per MPI wait), the engine compacts them out of the queue in
-// bulk; see maybeCompact.
+// bulk; see maybeCompact. Stop on an unarmed or already-fired timer is a
+// no-op, and a stopped timer may be re-armed with Arm.
 func (t *Timer) Stop() {
-	if t == nil || t.state != timerArmed {
+	if t == nil || !t.armed {
 		return
 	}
-	t.state = timerStopped
+	t.armed = false
 	t.eng.stoppedTimers++
 	t.eng.maybeCompact()
 }
 
-// HandleEvent implements Handler: the timer fired. Engine use only.
+// stale reports whether an event carrying stamp gen no longer represents
+// this timer's live deadline.
+func (t *Timer) stale(gen int64) bool { return !t.armed || gen != t.gen }
+
+// HandleEvent implements Handler: the timer fired. Engine use only — the
+// dispatch loop has already filtered stale events.
 func (t *Timer) HandleEvent(int64, int64) {
-	t.state = timerDone
+	t.armed = false
 	t.fn()
 }
 
@@ -317,16 +350,14 @@ func (e *Engine) schedProc(p *Proc, delay Time) {
 }
 
 // AfterTimer schedules fn after delay like Schedule, but returns a Timer
-// whose Stop cancels the callback. This is what MPI watchdogs are built
-// from: arming one must be free when it never fires, so a stopped timer is
-// dropped on pop instead of dispatched as a no-op (which would drag the
-// clock forward to its expiry and inflate every Elapsed measurement).
+// whose Stop cancels the callback. A stopped timer is dropped on pop
+// instead of dispatched as a no-op (which would drag the clock forward to
+// its expiry and inflate every Elapsed measurement). AfterTimer allocates
+// the Timer per call; callers arming on a hot path should allocate once
+// with NewTimer and Arm/Stop per use.
 func (e *Engine) AfterTimer(delay Time, fn func()) *Timer {
-	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", delay))
-	}
-	t := &Timer{eng: e, fn: fn}
-	e.enqueue(event{at: e.now + delay, h: t})
+	t := e.NewTimer(fn)
+	t.Arm(delay)
 	return t
 }
 
@@ -343,8 +374,7 @@ func (e *Engine) maybeCompact() {
 	}
 	kept := e.events[:0]
 	for _, ev := range e.events {
-		if t, ok := ev.h.(*Timer); ok && t.state == timerStopped {
-			t.state = timerDone
+		if t, ok := ev.h.(*Timer); ok && t.stale(ev.a) {
 			continue
 		}
 		kept = append(kept, ev)
@@ -365,8 +395,7 @@ func (e *Engine) maybeCompact() {
 	if e.nowqHead < len(e.nowq) {
 		keptNow := e.nowq[:e.nowqHead]
 		for _, ev := range e.nowq[e.nowqHead:] {
-			if t, ok := ev.h.(*Timer); ok && t.state == timerStopped {
-				t.state = timerDone
+			if t, ok := ev.h.(*Timer); ok && t.stale(ev.a) {
 				continue
 			}
 			keptNow = append(keptNow, ev)
@@ -424,22 +453,16 @@ func (e *Engine) RunUntil(limit Time) error {
 				e.nowq = e.nowq[:0]
 				e.nowqHead = 0
 			}
-			if t, ok := ev.h.(*Timer); ok && t.state != timerArmed {
-				if t.state == timerStopped {
-					t.state = timerDone
-					e.stoppedTimers--
-				}
+			if t, ok := ev.h.(*Timer); ok && t.stale(ev.a) {
+				e.stoppedTimers--
 				continue
 			}
 		} else if len(e.events) > 0 {
 			ev = e.events[0]
-			if t, ok := ev.h.(*Timer); ok && t.state != timerArmed {
-				// Cancelled (or already compact-marked): drop without
+			if t, ok := ev.h.(*Timer); ok && t.stale(ev.a) {
+				// Cancelled or superseded by a re-Arm: drop without
 				// advancing the clock or counting a dispatch.
-				if t.state == timerStopped {
-					t.state = timerDone
-					e.stoppedTimers--
-				}
+				e.stoppedTimers--
 				e.events.pop()
 				continue
 			}

@@ -268,3 +268,74 @@ func TestStopAfterFireIsNoOp(t *testing.T) {
 		t.Errorf("StoppedPending = %d after stopping a fired timer, want 0", e.StoppedPending())
 	}
 }
+
+// TestTimerArmStopZeroAlloc pins the reusable-timer redesign: a steady-state
+// Arm/Stop cycle on a long-lived timer (the per-rank MPI watchdog pattern)
+// must not allocate — the generation stamp rides in the event record and
+// compaction reclaims the stale entries in place.
+func TestTimerArmStopZeroAlloc(t *testing.T) {
+	per := perCycleAllocs(t, 64, 8256, func(cycles int) {
+		e := New()
+		tm := e.NewTimer(func() {})
+		for i := 0; i < cycles; i++ {
+			tm.Arm(Time(1 << 40))
+			tm.Stop()
+		}
+	})
+	if per > 0.001 {
+		t.Errorf("timer arm/stop allocates %.4f per cycle, want 0", per)
+	}
+}
+
+// TestTimerRearmSupersedes re-arms an armed timer: only the newest deadline
+// may fire, the superseded event must be dropped without moving the clock
+// past its own expiry first, and the stale accounting must come back to
+// zero.
+func TestTimerRearmSupersedes(t *testing.T) {
+	e := New()
+	var fired []Time
+	tm := e.NewTimer(nil)
+	tm.fn = func() { fired = append(fired, e.Now()) }
+	tm.Arm(100)
+	tm.Arm(200)
+	if e.StoppedPending() != 1 {
+		t.Errorf("StoppedPending = %d after re-arm, want 1 (the superseded event)", e.StoppedPending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 200 {
+		t.Fatalf("fired at %v, want exactly once at 200", fired)
+	}
+	if e.StoppedPending() != 0 {
+		t.Errorf("StoppedPending = %d after run, want 0", e.StoppedPending())
+	}
+}
+
+// TestTimerReuseAcrossCycles drives one timer through fire, stop and
+// re-arm cycles: each cycle must behave like a fresh timer while sharing
+// the single allocation.
+func TestTimerReuseAcrossCycles(t *testing.T) {
+	e := New()
+	count := 0
+	tm := e.NewTimer(func() { count++ })
+	tm.Arm(10)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 || e.Now() != 10 {
+		t.Fatalf("first cycle: count=%d now=%v, want 1 at 10", count, e.Now())
+	}
+	tm.Arm(5)
+	tm.Stop()
+	tm.Arm(7)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || e.Now() != 17 {
+		t.Fatalf("second cycle: count=%d now=%v, want 2 at 17", count, e.Now())
+	}
+	if e.StoppedPending() != 0 {
+		t.Errorf("StoppedPending = %d after reuse cycles, want 0", e.StoppedPending())
+	}
+}

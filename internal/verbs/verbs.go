@@ -28,6 +28,7 @@ import (
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
+	"mpinet/internal/msgtrace"
 	"mpinet/internal/shmem"
 	"mpinet/internal/sim"
 	"mpinet/internal/units"
@@ -133,6 +134,7 @@ type Network struct {
 	nodes []*nodeHW
 	met   *metrics.Registry
 	inj   *faults.Injector
+	rec   *msgtrace.Recorder
 }
 
 type nodeHW struct {
@@ -208,6 +210,9 @@ func (n *Network) ShmemBelow() int64 { return 16 * units.KB }
 
 // FaultPlan implements dev.FaultPlanner (nil when faults are off).
 func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
+// AttachTracer implements dev.TraceAttacher.
+func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
 
 // ShmemConfig returns the intra-node channel parameters for MVAPICH.
 func (n *Network) ShmemConfig() shmem.Config {
@@ -439,12 +444,15 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	eng := ep.net.eng
+	rec := ep.net.rec
+	// Capture trace context synchronously at issue time: the MPI layer (or
+	// the rail bond) scoped it around this call.
+	tid, rail := rec.Cur(), rec.CurRail()
 	start := eng.Now() + ep.connect(dst)
 	inj := ep.net.inj
 	if inj == nil || dst == ep.node {
 		// Healthy fabric, or HCA loopback that never touches the cable.
-		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), start,
-			func(sim.Time) { deliver() })
+		ep.wireAttempt(tid, rail, 0, dst, size, start, func(sim.Time) { deliver() })
 		return
 	}
 	start += inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
@@ -455,7 +463,7 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	attempt := 1
 	var try func(at sim.Time)
 	try = func(at sim.Time) {
-		fabric.Transfer(eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+		ep.wireAttempt(tid, rail, uint8(attempt-1), dst, size, at,
 			func(end sim.Time) {
 				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
 					deliver()
@@ -469,10 +477,30 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 				delay := rcRetry.Delay(attempt)
 				attempt++
 				ep.retried()
+				rec.Flight(msgtrace.FlightRetransmit, end, ep.node, tid, msgtrace.StageWire, int64(attempt-1), int64(dst))
+				rec.Span(tid, msgtrace.StageBackoff, ep.node, rail, uint8(attempt-1), -1, end, end+delay, size)
 				eng.At(end+delay, func() { try(eng.Now()) })
 			})
 	}
 	try(start)
+}
+
+// wireAttempt runs one transfer attempt over the staged path, recording the
+// attempt's wire span (and per-hop fabric detail) when the message is
+// sampled; unsampled messages take the plain zero-extra-cost path.
+func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst int, size int64, at sim.Time, done func(sim.Time)) {
+	rec := ep.net.rec
+	if rec.Sampled(tid) {
+		inner := done
+		done = func(end sim.Time) {
+			rec.Span(tid, msgtrace.StageWire, ep.node, rail, attempt, -1, at, end, size)
+			inner(end)
+		}
+		fabric.TransferTraced(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+			rec, tid, ep.node, rail, attempt, done)
+		return
+	}
+	fabric.Transfer(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at, done)
 }
 
 // Multicast implements dev.Multicaster when the platform enables hardware

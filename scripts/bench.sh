@@ -5,9 +5,11 @@
 #       Suite parallelism record: run the figure suite serially (-j 1) and
 #       parallel (-j N), verify the outputs are byte-identical, and emit
 #       BENCH_parallel.json with both runs' wall-clock and event
-#       throughput. On a single-CPU host the speedup is reported as null
-#       with a reason — a wall-clock ratio taken where -j cannot help is
-#       noise, not a parallelism measurement.
+#       throughput, plus the per-message trace-overhead record
+#       (BenchmarkTraceOverhead: events/sec with tracing off, sampled
+#       1-in-16, and full). On a single-CPU host the speedup is reported
+#       as null with a reason — a wall-clock ratio taken where -j cannot
+#       help is noise, not a parallelism measurement.
 #
 #   bench.sh -engine [-o FILE]
 #       Engine hot-path record: run the macro suite-throughput benchmark
@@ -129,6 +131,21 @@ cmp "$tmp/doc_serial.md" "$tmp/doc_parallel.md" || {
     exit 1
 }
 
+echo "== trace overhead (observability demo: off / sampled 1-in-16 / full) ==" >&2
+go test -run '^$' -bench 'BenchmarkTraceOverhead$' -benchtime 10x \
+    ./internal/experiments/ >"$tmp/traceov.txt"
+
+# bmetric BENCH UNIT: the value reported with UNIT on BENCH's output line
+# (go test suffixes sub-benchmark names with -GOMAXPROCS).
+bmetric() {
+    awk -v name="$1" -v unit="$2" \
+        '$1 ~ "^"name {for (i = 2; i < NF; i++) if ($(i+1) == unit) {print $i; exit}}' "$tmp/traceov.txt"
+}
+ov_off=$(bmetric BenchmarkTraceOverhead/off events/s)
+ov_sampled=$(bmetric BenchmarkTraceOverhead/sampled16 events/s)
+ov_full=$(bmetric BenchmarkTraceOverhead/full events/s)
+ov_pct=$(awk "BEGIN { printf \"%.1f\", (1 - $ov_full / $ov_off) * 100 }")
+
 # Pull one scalar field out of a per-run JSON (flat top-level keys).
 field() {
     sed -n "s/^  \"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -1
@@ -155,6 +172,14 @@ fi
     printf '  "byte_identical": true,\n'
     printf '  "speedup": %s,\n' "$speedup"
     printf '  "speedup_note": "%s",\n' "$speedup_note"
+    printf '  "trace_overhead": {\n'
+    printf '    "bench": "BenchmarkTraceOverhead",\n'
+    printf '    "workload": "observability demo (8 ranks, 4 nodes, IBA)",\n'
+    printf '    "untraced_events_per_sec": %s,\n' "$ov_off"
+    printf '    "sampled16_events_per_sec": %s,\n' "$ov_sampled"
+    printf '    "full_events_per_sec": %s,\n' "$ov_full"
+    printf '    "full_overhead_pct": %s\n' "$ov_pct"
+    printf '  },\n'
     printf '  "serial": '
     cat "$tmp/serial.json"
     printf ',\n  "parallel": '

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo health check: static analysis, the test suite under the race
 # detector, and the end-to-end determinism smoke — the figure document must
-# be byte-identical between -j 1 and -j N, and two identical instrumented
-# runs must produce byte-identical metrics snapshots and Chrome traces.
+# be byte-identical between -j 1 and -j N, two identical instrumented runs
+# must produce byte-identical metrics snapshots, Chrome traces and blame
+# reports, and the fault-injected postmortem must name its blame.
 #
 # Usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]
 #
@@ -101,6 +102,31 @@ cmp "$tmp/trace1.json" "$tmp/trace2.json" || {
     exit 1
 }
 echo "observability artifacts byte-identical across runs"
+
+# The tracing contract: the fully-traced demo's blame report and
+# flow-arrow Chrome trace are byte-identical across identical runs, and
+# the fault-injected postmortem names the blamed rank, stage and message.
+for i in 1 2; do
+    "$tmp/paperrepro" -obsnet Myri -tracemsgs 1 \
+        -tracefile "$tmp/flows$i.json" -blame "$tmp/blame$i.json" 2>/dev/null
+done
+cmp "$tmp/blame1.json" "$tmp/blame2.json" || {
+    echo "FAIL: blame reports differ between identical traced runs" >&2
+    exit 1
+}
+cmp "$tmp/flows1.json" "$tmp/flows2.json" || {
+    echo "FAIL: traced Chrome traces differ between identical runs" >&2
+    exit 1
+}
+"$tmp/paperrepro" -postmortem >"$tmp/postmortem.txt" || {
+    echo "FAIL: postmortem scenario errored" >&2
+    exit 1
+}
+grep -q 'blamed rank' "$tmp/postmortem.txt" || {
+    echo "FAIL: postmortem output does not name a blamed rank" >&2
+    exit 1
+}
+echo "tracing artifacts byte-identical; postmortem names its blame"
 
 if [ -n "$faults" ]; then
     echo "== fault-injection smoke =="
