@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-benchjson FILE]
+//	paperrepro [-o EXPERIMENTS.md] [-quick] [-j N] [-shards N] [-benchjson FILE]
 //	paperrepro [-metrics FILE] [-tracefile FILE] [-blame FILE] [-tracemsgs N] [-obsnet IBA|Myri|QSN]
 //	paperrepro -postmortem [-obsnet IBA|Myri|QSN] [-droprate P] [-seed N]
 //	paperrepro -faults [-droprate P] [-seed N] [-faultnet IBA|Myri|QSN]
@@ -19,6 +19,9 @@
 // Each figure and table is an independent simulation, so the suite fans out
 // over -j worker goroutines (default: one per core) with output committed
 // in figure order — the document is byte-identical for every -j value.
+// -shards N additionally partitions each simulated world's event queue into
+// N conservatively synchronized shards (docs/MODEL.md §17); like -j it is an
+// execution knob only, and the document is byte-identical for every value.
 // -benchjson additionally writes a host-performance record of the run
 // (per-task wall-clock, total wall-clock, simulation events/sec; - for
 // stdout), which scripts/bench.sh folds into BENCH_parallel.json.
@@ -61,6 +64,7 @@ import (
 	"strings"
 	"time"
 
+	"mpinet/internal/cluster"
 	"mpinet/internal/experiments"
 	"mpinet/internal/profiling"
 	"mpinet/internal/report"
@@ -71,6 +75,7 @@ func main() {
 	out := flag.String("o", "-", "output file (- = stdout)")
 	quick := flag.Bool("quick", false, "class S smoke mode")
 	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently (output is identical for any value)")
+	shards := flag.Int("shards", 1, "event-queue shards per simulated world (output is identical for any value)")
 	benchOut := flag.String("benchjson", "", "also write a host-performance JSON record of the run (- = stdout)")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
 	metricsOut := flag.String("metrics", "", "run the observability demo, write its metrics snapshot here (- = stdout), and exit")
@@ -92,7 +97,7 @@ func main() {
 
 	os.Exit(profiling.Run(*cpuProfile, *memProfile, "paperrepro", func() int {
 		return run(runOpts{
-			out: *out, quick: *quick, jobs: *jobs, benchOut: *benchOut,
+			out: *out, quick: *quick, jobs: *jobs, shards: *shards, benchOut: *benchOut,
 			csvDir: *csvDir, metricsOut: *metricsOut, traceOut: *traceOut,
 			obsNet: *obsNet, traceMsgs: *traceMsgs, blameOut: *blameOut,
 			postmortem: *postmortem, faultsRun: *faultsRun, dropRate: *dropRate,
@@ -106,6 +111,7 @@ type runOpts struct {
 	out        string
 	quick      bool
 	jobs       int
+	shards     int
 	benchOut   string
 	csvDir     string
 	metricsOut string
@@ -125,7 +131,7 @@ type runOpts struct {
 
 func run(o runOpts) int {
 	if o.railRun {
-		if err := experiments.RailFailSmoke(os.Stdout, o.railPair, o.railPolicy, o.seed); err != nil {
+		if err := experiments.RailFailSmoke(os.Stdout, o.railPair, o.railPolicy, o.seed, o.shards); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			return 1
 		}
@@ -133,7 +139,7 @@ func run(o runOpts) int {
 	}
 
 	if o.postmortem {
-		if err := experiments.Postmortem(os.Stdout, o.obsNet, o.dropRate, o.seed); err != nil {
+		if err := experiments.Postmortem(os.Stdout, o.obsNet, o.dropRate, o.seed, o.shards); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			return 1
 		}
@@ -146,7 +152,7 @@ func run(o runOpts) int {
 			nets = []string{o.faultNet}
 		}
 		for _, net := range nets {
-			if err := experiments.FaultSmoke(os.Stdout, net, o.dropRate, o.seed); err != nil {
+			if err := experiments.FaultSmoke(os.Stdout, net, o.dropRate, o.seed, o.shards); err != nil {
 				fmt.Fprintln(os.Stderr, "paperrepro:", err)
 				return 1
 			}
@@ -155,7 +161,7 @@ func run(o runOpts) int {
 	}
 
 	if o.metricsOut != "" || o.traceOut != "" || o.blameOut != "" {
-		if err := runObserved(o.obsNet, o.metricsOut, o.traceOut, o.blameOut, o.traceMsgs); err != nil {
+		if err := runObserved(o.obsNet, o.metricsOut, o.traceOut, o.blameOut, o.traceMsgs, o.shards); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			return 1
 		}
@@ -164,6 +170,7 @@ func run(o runOpts) int {
 
 	r := experiments.NewRunner(o.quick, os.Stderr)
 	r.Jobs = o.jobs
+	r.Shards = o.shards
 	start := time.Now()
 
 	if o.csvDir != "" {
@@ -235,10 +242,13 @@ func writeBenchJSON(path string, r *experiments.Runner, jobs int, wall time.Dura
 
 // runObserved executes the instrumented demo workload and writes the
 // requested artifacts. -blame implies full tracing when -tracemsgs is 0.
-func runObserved(net, metricsPath, tracePath, blamePath string, traceEvery int) error {
+func runObserved(net, metricsPath, tracePath, blamePath string, traceEvery, shards int) error {
 	p, err := experiments.PlatformByName(net)
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		p = p.With(cluster.WithShards(shards))
 	}
 	if blamePath != "" && traceEvery <= 0 {
 		traceEvery = 1

@@ -22,6 +22,7 @@ import (
 	"mpinet/internal/rail"
 	"mpinet/internal/sim"
 	"mpinet/internal/trace"
+	"mpinet/internal/units"
 	"mpinet/internal/verbs"
 )
 
@@ -57,6 +58,9 @@ type Settings struct {
 	// Heartbeat overrides the bond's health-monitor probe period (0 = rail
 	// package default; bonded platforms only).
 	Heartbeat sim.Time
+	// Shards is the conservative-parallel shard count the network's engine
+	// group is built with (0 or 1 = plain serial engine). See WithShards.
+	Shards int
 }
 
 // plan resolves the effective fault plan: a copy of Faults with the Seed
@@ -83,9 +87,40 @@ type Platform struct {
 	build func(eng *sim.Engine, nodes int, s Settings) dev.Network
 }
 
+// defaultLookahead is the cross-shard lookahead used when a network cannot
+// state its own latency floor (dev.LookaheadReporter): half the smallest
+// wire latency of the modelled fabrics, conservatively safe for all three.
+const defaultLookahead = 40 * units.Nanosecond
+
 // New returns a freshly wired network (with its own simulation engine) of
 // the given node count, configured per the platform's settings.
-func (p Platform) New(nodes int) dev.Network { return p.build(sim.New(), nodes, p.base) }
+//
+// With Shards > 1 the engine is shard 0 of a sim.Sharded group whose
+// cross-shard lookahead is the network's own MinLinkLatency (or a
+// conservative default when the network cannot state one). The network's
+// device state all lives on shard 0 today — Partition gives the placement —
+// so figure runs stay byte-identical at every shard count while partitioned
+// workloads (and the staged device-domain split, see docs/MODEL.md §17) use
+// the remaining shards.
+func (p Platform) New(nodes int) dev.Network {
+	if p.base.Shards <= 1 {
+		return p.build(sim.New(), nodes, p.base)
+	}
+	group := sim.NewSharded(p.base.Shards, defaultLookahead)
+	net := p.build(group.Shard(0), nodes, p.base)
+	if lr, ok := net.(dev.LookaheadReporter); ok {
+		if la := lr.MinLinkLatency(); la > 0 {
+			group.SetLookahead(la)
+		}
+	}
+	return net
+}
+
+// Partition reports the node/switch → shard placement New would use for an
+// n-node world at the platform's configured shard count.
+func (p Platform) Partition(nodes int) sim.Partition {
+	return sim.PartitionNodes(nodes, p.base.Shards)
+}
 
 // With derives a variant platform with the options' platform-side effects
 // applied. Options that carry a name suffix (PCIBus -> "-PCI") extend the
@@ -233,6 +268,15 @@ func WithRailPolicy(p rail.Policy) Option {
 // Inert on solo platforms.
 func WithHeartbeat(d sim.Time) Option {
 	return Option{platform: func(s *Settings) { s.Heartbeat = d }}
+}
+
+// WithShards builds the platform's engine as an n-shard conservative
+// parallel group (sim.Sharded); n <= 1 keeps the plain serial engine.
+// Deliberately no name suffix: shard count is an execution knob, not a
+// model variant — figure labels, metrics snapshots and blame reports must
+// stay byte-identical at every shard count.
+func WithShards(n int) Option {
+	return Option{platform: func(s *Settings) { s.Shards = n }}
 }
 
 // buildIBA wires the InfiniBand testbed from settings.

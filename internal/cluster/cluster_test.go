@@ -3,6 +3,8 @@ package cluster
 import (
 	"testing"
 
+	"mpinet/internal/dev"
+	"mpinet/internal/sim"
 	"mpinet/internal/units"
 )
 
@@ -97,5 +99,58 @@ func TestPlatformNamesUnique(t *testing.T) {
 			t.Fatalf("duplicate platform name %q", p.Name)
 		}
 		seen[p.Name] = true
+	}
+}
+
+func TestWithShardsBuildsShardedGroup(t *testing.T) {
+	for _, mk := range []func() Platform{IBA, Myri, QSN} {
+		p := mk().With(WithShards(4))
+		if got := p.Name; got != mk().Name {
+			t.Fatalf("WithShards changed the platform name to %q; shard count must not leak into reports", got)
+		}
+		net := p.New(4)
+		eng := net.Engine()
+		if eng.ShardID() != 0 {
+			t.Fatalf("%s: network engine is shard %d, want 0", net.Name(), eng.ShardID())
+		}
+		// The member engine must drive the whole group: a trivial event on
+		// shard 0 runs to completion under the window scheduler.
+		ran := false
+		eng.Schedule(0, func() { ran = true })
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%s sharded Run: %v", net.Name(), err)
+		}
+		if !ran {
+			t.Fatalf("%s: sharded engine dispatched nothing", net.Name())
+		}
+	}
+}
+
+func TestShardedLookaheadFromNetwork(t *testing.T) {
+	// Each fabric states its own latency floor; the bond takes the fastest
+	// member's. These feed the shard scheduler's lookahead directly.
+	la := func(p Platform) sim.Time {
+		lr, ok := p.New(2).(dev.LookaheadReporter)
+		if !ok {
+			t.Fatalf("%s does not report a lookahead", p.Name)
+		}
+		return lr.MinLinkLatency()
+	}
+	iba, myri, qsn := la(IBA()), la(Myri()), la(QSN())
+	if !(qsn < myri && myri < iba) {
+		t.Errorf("lookahead ordering QSN(%v) < Myri(%v) < IBA(%v) violated", qsn, myri, iba)
+	}
+	if got := la(Bond(IBA(), QSN())); got != qsn {
+		t.Errorf("bond lookahead %v, want fastest member %v", got, qsn)
+	}
+}
+
+func TestPlatformPartition(t *testing.T) {
+	p := IBA().With(WithShards(4)).Partition(8)
+	if p.Shards != 4 || len(p.NodeShard) != 8 || p.SwitchShard != 0 {
+		t.Fatalf("partition = %+v", p)
+	}
+	if q := IBA().Partition(8); q.Shards != 1 {
+		t.Fatalf("unsharded partition has %d shards, want 1", q.Shards)
 	}
 }

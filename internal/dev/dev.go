@@ -149,6 +149,19 @@ type Network interface {
 	ShmemBelow() int64
 }
 
+// LookaheadReporter is implemented by networks that can state a lower bound
+// on the simulated latency of any message crossing between nodes — cable
+// flight plus the cheapest port logic, with every queueing and protocol
+// delay excluded. The sharded scheduler (sim.Sharded) uses it as the
+// conservative lookahead for cross-shard edges: no event executed in one
+// node domain can affect another sooner than this bound, so domains may
+// dispatch a window of that width in parallel. Returning a bound larger
+// than the true minimum would break causality (the scheduler trusts it);
+// smaller is merely slower.
+type LookaheadReporter interface {
+	MinLinkLatency() sim.Time
+}
+
 // FaultPlanner is implemented by networks wired with a fault-injection
 // plan (see internal/faults). The MPI layer uses it to auto-arm its
 // per-wait watchdog: a run on a faulty network must end in a typed error,

@@ -179,6 +179,10 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 // Nodes implements dev.Network.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
+// MinLinkLatency implements dev.LookaheadReporter: the cross-node latency
+// floor is one wire hop.
+func (n *Network) MinLinkLatency() sim.Time { return wireLatency }
+
 // ShmemBelow implements dev.Network: the Quadrics MPI of the paper loops
 // intra-node traffic through the NIC at every size.
 func (n *Network) ShmemBelow() int64 { return 0 }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"mpinet/internal/apps"
+	"mpinet/internal/cluster"
+	"mpinet/internal/report"
+)
+
+// renderMicroFigs renders Figures 1-6 (the paper's point-to-point suite) at
+// the given shard count and returns the concatenated documents.
+func renderMicroFigs(t *testing.T, shards int) string {
+	t.Helper()
+	r := NewRunner(true, nil)
+	r.Shards = shards
+	var b bytes.Buffer
+	for _, f := range []func() report.Figure{r.Fig1, r.Fig2, r.Fig3, r.Fig4, r.Fig5, r.Fig6} {
+		b.WriteString(f().Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFiguresByteIdenticalAcrossShards is the tentpole contract at the
+// figure level: every Fig 1-6 microbenchmark must render byte-identically
+// whether the worlds execute on one event queue or on a conservatively
+// synchronized shard group. -shards, like -j, must be unobservable in
+// output.
+func TestFiguresByteIdenticalAcrossShards(t *testing.T) {
+	serial := renderMicroFigs(t, 1)
+	counts := []int{2, 8}
+	if testing.Short() {
+		counts = []int{2}
+	}
+	for _, n := range counts {
+		if got := renderMicroFigs(t, n); got != serial {
+			t.Errorf("figure output differs between -shards 1 and -shards %d", n)
+		}
+	}
+}
+
+// TestLUClassSIdenticalAcrossShards runs the LU application smoke on all
+// three fabrics at shards 1 and 4 and requires identical simulated time and
+// per-rank message profiles — the application-level partition-invariance
+// guarantee.
+func TestLUClassSIdenticalAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application partition invariance runs in the long mode")
+	}
+	lu, err := apps.ByName("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []cluster.Platform{cluster.IBA(), cluster.Myri(), cluster.QSN()} {
+		serial, err := lu.Run(apps.RunConfig{Platform: p, Class: apps.ClassS, Procs: 8})
+		if err != nil {
+			t.Fatalf("%s serial: %v", p.Name, err)
+		}
+		sharded, err := lu.Run(apps.RunConfig{
+			Platform: p.With(cluster.WithShards(4)), Class: apps.ClassS, Procs: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s sharded: %v", p.Name, err)
+		}
+		if serial.Elapsed != sharded.Elapsed {
+			t.Errorf("%s: LU elapsed %v at -shards 1, %v at -shards 4",
+				p.Name, serial.Elapsed, sharded.Elapsed)
+		}
+		if serial.PerRank.SizeHist != sharded.PerRank.SizeHist {
+			t.Errorf("%s: per-rank size histogram differs across shard counts", p.Name)
+		}
+	}
+}
+
+// TestObservabilityStableAcrossShards checks the observability demo's
+// machine-readable artifacts — the metrics snapshot and the critical-path
+// blame JSON — are byte-identical at shards 1 and 4. This is what the CI
+// shard-determinism matrix enforces binary-level.
+func TestObservabilityStableAcrossShards(t *testing.T) {
+	artifacts := func(p cluster.Platform) (metrics, blame []byte) {
+		w, err := ObserveTraced(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mb, bb bytes.Buffer
+		w.Metrics().Snapshot().RenderGrouped(&mb)
+		if err := report.WriteBlameJSON(&bb, w.MsgTrace().Analyze(5)); err != nil {
+			t.Fatal(err)
+		}
+		return mb.Bytes(), bb.Bytes()
+	}
+	m1, b1 := artifacts(cluster.IBA())
+	m4, b4 := artifacts(cluster.IBA().With(cluster.WithShards(4)))
+	if !bytes.Equal(m1, m4) {
+		t.Error("metrics snapshot differs between -shards 1 and -shards 4")
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Error("blame JSON differs between -shards 1 and -shards 4")
+	}
+}
+
+// TestSmokesAcceptShards runs the seeded fault and rail-failover smokes at
+// -shards 4 and requires the same bytes as the serial run — replay
+// determinism must survive both fault injection and sharded execution.
+func TestSmokesAcceptShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded smoke replay runs in the long mode")
+	}
+	var serial, sharded bytes.Buffer
+	if err := FaultSmoke(&serial, "IBA", 0.01, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := FaultSmoke(&sharded, "IBA", 0.01, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Error("FaultSmoke output differs between -shards 1 and -shards 4")
+	}
+	serial.Reset()
+	sharded.Reset()
+	if err := RailFailSmoke(&serial, "IBA+Myri", "failover", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RailFailSmoke(&sharded, "IBA+Myri", "failover", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Error("RailFailSmoke output differs between -shards 1 and -shards 4")
+	}
+}

@@ -200,6 +200,10 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 // Nodes implements dev.Network.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
+// MinLinkLatency implements dev.LookaheadReporter: the cross-node latency
+// floor is one wire hop.
+func (n *Network) MinLinkLatency() sim.Time { return wireLatency }
+
 // ShmemBelow implements dev.Network: MPICH-GM uses shared memory for all
 // intra-node message sizes.
 func (n *Network) ShmemBelow() int64 { return math.MaxInt64 }

@@ -191,3 +191,47 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("chrome trace output is not deterministic")
 	}
 }
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{Items: []Item{
+		{Name: "engine/events_dispatched", Kind: KindCount, Value: 100},
+		{Name: "engine/queue_high_water", Kind: KindGauge, Value: 7},
+		{Name: "engine/blocked_time", Kind: KindTime, Value: 500},
+	}}
+	b := Snapshot{Items: []Item{
+		{Name: "engine/events_dispatched", Kind: KindCount, Value: 23},
+		{Name: "engine/queue_high_water", Kind: KindGauge, Value: 12},
+		{Name: "shard/only_here", Kind: KindCount, Value: 1},
+	}}
+	m := MergeSnapshots(a, b)
+	want := map[string]int64{
+		"engine/blocked_time":      500,
+		"engine/events_dispatched": 123,
+		"engine/queue_high_water":  12,
+		"shard/only_here":          1,
+	}
+	if len(m.Items) != len(want) {
+		t.Fatalf("merged %d items, want %d", len(m.Items), len(want))
+	}
+	for _, it := range m.Items {
+		if it.Value != want[it.Name] {
+			t.Errorf("%s = %d, want %d", it.Name, it.Value, want[it.Name])
+		}
+	}
+	// Deterministic: input order never changes the result.
+	r := MergeSnapshots(b, a)
+	for i := range m.Items {
+		if m.Items[i].Name != r.Items[i].Name {
+			t.Fatalf("merge order-dependent: %q vs %q at %d", m.Items[i].Name, r.Items[i].Name, i)
+		}
+		if it := r.Items[i]; it.Value != want[it.Name] {
+			t.Errorf("reversed: %s = %d, want %d", it.Name, it.Value, want[it.Name])
+		}
+	}
+	// Name order must be sorted (the snapshot invariant).
+	for i := 1; i < len(m.Items); i++ {
+		if m.Items[i-1].Name >= m.Items[i].Name {
+			t.Fatalf("merged items not name-sorted: %q >= %q", m.Items[i-1].Name, m.Items[i].Name)
+		}
+	}
+}

@@ -101,6 +101,41 @@ func (s Snapshot) Merged() Snapshot {
 	return out
 }
 
+// MergeSnapshots folds any number of snapshots into one deterministic
+// aggregate: items sharing a name combine by kind (counts and times sum,
+// gauge high-waters take the maximum) and the result is name-sorted, so the
+// output is invariant under input order — the shard-safe way to combine
+// per-shard registries at snapshot time, where Engine-side merging would
+// depend on which shard's probes fired first.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	agg := make(map[string]*Item)
+	var names []string
+	for _, s := range snaps {
+		for _, it := range s.Items {
+			a, ok := agg[it.Name]
+			if !ok {
+				cp := it
+				agg[it.Name] = &cp
+				names = append(names, it.Name)
+				continue
+			}
+			if it.Kind == KindGauge {
+				if it.Value > a.Value {
+					a.Value = it.Value
+				}
+			} else {
+				a.Value += it.Value
+			}
+		}
+	}
+	sort.Strings(names)
+	out := Snapshot{Items: make([]Item, 0, len(names))}
+	for _, name := range names {
+		out.Items = append(out.Items, *agg[name])
+	}
+	return out
+}
+
 // format renders an item's value: times as humane durations, byte-suffixed
 // counts as sizes, everything else as a plain integer.
 func (it Item) format() string {

@@ -1,0 +1,53 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/sim"
+)
+
+// shardWorkload is a mixed point-to-point/collective program whose per-rank
+// completion times expose any divergence between serial and sharded
+// execution down to the picosecond.
+func shardWorkload(w *World) ([]sim.Time, error) {
+	finish := make([]sim.Time, 8)
+	err := w.Run(func(r *Rank) {
+		buf := r.Malloc(4096)
+		small := r.Malloc(64)
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 4; i++ {
+			r.Sendrecv(buf, next, 0, buf, prev, 0)
+			r.Allreduce(small)
+		}
+		r.Alltoall(buf, r.Malloc(4096))
+		r.Barrier()
+		finish[r.Rank()] = r.Wtime()
+	})
+	return finish, err
+}
+
+// TestWorldDeterministicAcrossShards runs the same world once on the serial
+// engine and once on a 4-shard group, on each fabric, and requires every
+// rank to finish at exactly the same simulated time.
+func TestWorldDeterministicAcrossShards(t *testing.T) {
+	for _, p := range []cluster.Platform{cluster.IBA(), cluster.Myri(), cluster.QSN()} {
+		serial, err := shardWorkload(MustWorld(Config{Net: p.New(8), Procs: 8}))
+		if err != nil {
+			t.Fatalf("%s serial: %v", p.Name, err)
+		}
+		sharded, err := shardWorkload(MustWorld(Config{
+			Net: p.With(cluster.WithShards(4)).New(8), Procs: 8,
+		}))
+		if err != nil {
+			t.Fatalf("%s sharded: %v", p.Name, err)
+		}
+		for rk := range serial {
+			if serial[rk] != sharded[rk] {
+				t.Errorf("%s rank %d: finished at %v serial, %v at -shards 4",
+					p.Name, rk, serial[rk], sharded[rk])
+			}
+		}
+	}
+}

@@ -275,6 +275,23 @@ func (n *Network) Nodes() int { return n.rails[0].Nodes() }
 // Rails exposes the member fabrics (for tests and diagnostics).
 func (n *Network) Rails() []dev.Network { return n.rails }
 
+// MinLinkLatency implements dev.LookaheadReporter: a bonded message may ride
+// any member rail, so the bound is the fastest member's. Members that cannot
+// state a bound make the bond unable to either (returns 0).
+func (n *Network) MinLinkLatency() sim.Time {
+	var min sim.Time
+	for _, r := range n.rails {
+		lr, ok := r.(dev.LookaheadReporter)
+		if !ok {
+			return 0
+		}
+		if la := lr.MinLinkLatency(); min == 0 || la < min {
+			min = la
+		}
+	}
+	return min
+}
+
 // Tuning exposes the resolved knob set.
 func (n *Network) Tuning() Tuning { return n.tun }
 

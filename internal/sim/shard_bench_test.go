@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"mpinet/internal/units"
+)
+
+// BenchmarkShardScaling measures the conservative scheduler's throughput on
+// a genuinely partitioned workload: 8 node domains plus the switch domain,
+// cross-domain hops at exactly the lookahead, and a chain of local compute
+// events between receive and forward (the window's parallel grain). The
+// shards=1 case is the serial fast path — the overhead baseline — and
+// scripts/bench.sh stamps the events/sec of every shard count into
+// BENCH_engine.json's shard_scaling block. On a single-CPU host the higher
+// shard counts measure scheduler overhead, not speedup; bench.sh reports
+// the 4-shard speedup as null with a reason there.
+func BenchmarkShardScaling(b *testing.B) {
+	const (
+		nodes  = 8
+		ops    = 96
+		rounds = 400
+		hop    = 100 * units.Nanosecond
+		step   = units.Nanosecond
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nt := buildShardNet(shards, nodes, ops, rounds, hop, step)
+				if err := nt.s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				events += nt.s.Dispatched()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+// Synthetic multi-domain workload for the shard scheduler's tests and the
+// shard-scaling benchmark: N node domains exchange messages through one
+// switch domain, every hop at exactly the group lookahead, with a chain of
+// cheap local compute events between receive and forward. All delays are
+// fixed, so every timestamp — and therefore every per-node checksum, which
+// folds arrival times in — is a pure function of the model, not of the
+// shard count. That is the observable the partition-invariance tests pin.
+
+// mixShard is a splitmix-style avalanche for payload evolution and
+// arrival-time checksums.
+func mixShard(a, b uint64) uint64 {
+	x := a ^ (b * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x
+}
+
+type shardNet struct {
+	s     *Sharded
+	sw    *shardSwitch
+	nodes []*shardNode
+}
+
+// send routes a typed event to a handler that may live on another shard:
+// same shard (or a single-shard group) degrades to Call, cross-shard goes
+// through SendTo.
+func (nt *shardNet) send(e *Engine, dstShard int, delay Time, h Handler, a, b int64) {
+	if nt.s.Shards() == 1 || dstShard == e.ShardID() {
+		e.Call(delay, h, a, b)
+		return
+	}
+	e.SendTo(dstShard, delay, h, a, b)
+}
+
+// shardSwitch is the single switch domain: HandleEvent(dstNode, payload)
+// forwards the message to its destination node after one hop.
+type shardSwitch struct {
+	eng      *Engine
+	shard    int
+	net      *shardNet
+	hop      Time
+	forwards uint64
+}
+
+func (sw *shardSwitch) HandleEvent(a, b int64) {
+	sw.forwards++
+	n := sw.net.nodes[a]
+	sw.net.send(sw.eng, n.shard, sw.hop, n, 0, b)
+}
+
+// shardNode is one node domain. kind 0 events are message arrivals from the
+// switch; kind 1 events are local compute steps. An arrival folds (time,
+// payload) into the node checksum, burns ops compute steps, then (while the
+// node has rounds left) forwards an evolved payload to a deterministically
+// chosen peer via the switch.
+type shardNode struct {
+	eng     *Engine
+	shard   int
+	net     *shardNet
+	id      int
+	hop     Time
+	step    Time
+	ops     int
+	rounds  int
+	pending int
+	payload int64
+	count   uint64
+	sum     uint64
+}
+
+func (n *shardNode) HandleEvent(kind, payload int64) {
+	switch kind {
+	case 0: // arrival
+		n.count++
+		n.sum += mixShard(uint64(n.eng.Now()), uint64(payload))
+		if n.rounds == 0 {
+			return // chain ends here
+		}
+		n.rounds--
+		n.payload = payload
+		n.pending = n.ops
+		n.eng.Call(n.step, n, 1, payload)
+	case 1: // compute step
+		n.pending--
+		if n.pending > 0 {
+			n.eng.Call(n.step, n, 1, n.payload)
+			return
+		}
+		next := int64(mixShard(uint64(n.payload), uint64(n.id)+1))
+		dst := int64(uint64(next) % uint64(len(n.net.nodes)))
+		n.net.send(n.eng, n.net.sw.shard, n.hop, n.net.sw, dst, next)
+	}
+}
+
+// buildShardNet wires the workload under PartitionNodes placement and seeds
+// one message chain per node. Run the returned group to completion with
+// nt.s.Run() (or any member engine's Run).
+func buildShardNet(shards, nodes, ops, rounds int, hop, step Time) *shardNet {
+	s := NewSharded(shards, hop)
+	part := PartitionNodes(nodes, shards)
+	nt := &shardNet{s: s}
+	nt.sw = &shardSwitch{eng: s.Shard(part.SwitchShard), shard: part.SwitchShard, net: nt, hop: hop}
+	for i := 0; i < nodes; i++ {
+		sh := part.NodeShard[i]
+		n := &shardNode{
+			eng: s.Shard(sh), shard: sh, net: nt, id: i,
+			hop: hop, step: step, ops: ops, rounds: rounds,
+		}
+		nt.nodes = append(nt.nodes, n)
+		// Seed: one arrival per node, staggered so the chains interleave.
+		n.eng.CallAt(Time(i+1)*step, n, 0, int64(mixShard(uint64(i), 0)))
+	}
+	return nt
+}

@@ -204,6 +204,11 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 // Nodes implements dev.Network.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
+// MinLinkLatency implements dev.LookaheadReporter: no message leaves a node
+// and lands on another in less than one wire hop, whatever the protocol
+// stacked above adds.
+func (n *Network) MinLinkLatency() sim.Time { return wireLatency }
+
 // ShmemBelow implements dev.Network: MVAPICH uses the shared-memory channel
 // for intra-node messages under 16 KB and NIC loopback above.
 func (n *Network) ShmemBelow() int64 { return 16 * units.KB }

@@ -14,7 +14,10 @@
 #   bench.sh -engine [-o FILE]
 #       Engine hot-path record: run the macro suite-throughput benchmark
 #       (BenchmarkSuiteEventsPerSec) plus the park/wake, typed-event and
-#       transfer-chunk micro-benchmarks, and emit BENCH_engine.json with
+#       transfer-chunk micro-benchmarks and the conservative-PDES
+#       shard-scaling sweep (BenchmarkShardScaling: events/sec at
+#       1/2/4/8 shards; the 4-shard speedup is null with a reason on
+#       hosts under 4 CPUs), and emit BENCH_engine.json with
 #       events/sec and allocs/op. The committed copy is the baseline CI's
 #       perf-smoke job diffs against (warn at >10% regression). The
 #       before/after block records the full-suite measurement taken at the
@@ -69,6 +72,9 @@ if [ -n "$engine" ]; then
         ./internal/sim/ >"$tmp/sim.txt"
     go test -run '^$' -benchmem -bench 'BenchmarkTransferChunk$' \
         ./internal/fabric/ >"$tmp/fabric.txt"
+    echo "== shard scaling: conservative PDES events/sec at 1/2/4/8 shards ==" >&2
+    go test -run '^$' -bench 'BenchmarkShardScaling$' -benchtime 3x \
+        ./internal/sim/ >"$tmp/shard.txt"
 
     # metric FILE BENCH UNIT: the value reported with UNIT on BENCH's line.
     metric() {
@@ -78,6 +84,18 @@ if [ -n "$engine" ]; then
     # go test suffixes benchmark names with -GOMAXPROCS (no suffix = 1).
     gmp=$(awk '$1 ~ /^BenchmarkSuiteEventsPerSec/ {n = split($1, a, "-"); if (n > 1) print a[n]; exit}' "$tmp/macro.txt")
     [ -n "$gmp" ] || gmp=1
+
+    # shard_ev N: events/sec of the N-shard sub-benchmark.
+    shard_ev() { metric "$tmp/shard.txt" "BenchmarkShardScaling/shards=$1" events/s; }
+    # A 4-shard speedup is only a parallelism measurement when the host can
+    # actually run 4 window workers at once; otherwise null, with the reason.
+    if [ "$host_cpus" -lt 4 ] 2>/dev/null; then
+        shard_speedup=null
+        shard_note="host_cpus=$host_cpus: 4 shard workers cannot run in parallel, the ratio measures scheduler overhead"
+    else
+        shard_speedup=$(awk "BEGIN { printf \"%.3f\", $(shard_ev 4) / $(shard_ev 1) }")
+        shard_note=""
+    fi
 
     micro() { # NAME FILE BENCH -> one JSON object line
         printf '    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' \
@@ -94,6 +112,14 @@ if [ -n "$engine" ]; then
         printf '    "mode": "quick",\n'
         printf '    "events_per_op": %s,\n' "$(metric "$tmp/macro.txt" BenchmarkSuiteEventsPerSec events/op)"
         printf '    "events_per_sec": %s\n' "$(metric "$tmp/macro.txt" BenchmarkSuiteEventsPerSec events/s)"
+        printf '  },\n'
+        printf '  "shard_scaling": {\n'
+        printf '    "bench": "BenchmarkShardScaling",\n'
+        printf '    "workload": "8 node domains + switch domain, 96-op compute grain, 400 rounds",\n'
+        printf '    "events_per_sec": {"shards_1": %s, "shards_2": %s, "shards_4": %s, "shards_8": %s},\n' \
+            "$(shard_ev 1)" "$(shard_ev 2)" "$(shard_ev 4)" "$(shard_ev 8)"
+        printf '    "speedup_4shard": %s,\n' "$shard_speedup"
+        printf '    "speedup_4shard_note": "%s"\n' "$shard_note"
         printf '  },\n'
         printf '  "overhaul_reference": {\n'
         printf '    "note": "full suite (-j 1), both binaries interleaved on the same single-CPU host at the overhaul commit; see docs/MODEL.md \\u00a715",\n'

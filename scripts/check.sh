@@ -7,6 +7,9 @@
 #
 # Usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]
 #
+# The determinism smoke also re-renders the document at -shards 4 and
+# requires the same bytes as the serial engine (docs/MODEL.md §17).
+#
 #   -short   pass -short to go test (the CI race-shard budget: quick-mode
 #            suites only, minutes-long class B gates skipped)
 #   -full    nightly mode: the complete class B suite including the
@@ -66,6 +69,14 @@ if grep -rn --include='*.go' --exclude='*_test.go' 'Schedule(0, func()' internal
     echo "FAIL: internal/sim wakes procs via per-event closures again (allocation per park/wake)" >&2
     exit 1
 fi
+# The shard scheduler must stay deterministic: wall-clock reads and shared
+# mutable counters inside the window loop would make the commit order (and
+# so the replay bytes) depend on host scheduling. Process-wide counters
+# accumulate per shard and merge through engine.go helpers instead.
+if grep -n 'time\.Now\|time\.Since\|atomic\.' internal/sim/shard.go; then
+    echo "FAIL: internal/sim/shard.go reads wall-clock or shared atomics (nondeterministic under shard scheduling)" >&2
+    exit 1
+fi
 echo "banned patterns absent"
 
 echo "== go vet =="
@@ -87,6 +98,15 @@ cmp "$tmp/doc_j1.md" "$tmp/doc_jN.md" || {
     exit 1
 }
 echo "figure document byte-identical at -j 1 and -j $jobs"
+
+# The sharded-engine contract (docs/MODEL.md §17): partitioning each
+# world's event queue is an execution knob like -j, never visible in output.
+"$tmp/paperrepro" -quick -j 2 -shards 4 -o "$tmp/doc_s4.md" 2>/dev/null
+cmp "$tmp/doc_j1.md" "$tmp/doc_s4.md" || {
+    echo "FAIL: figure document differs between -shards 1 and -shards 4" >&2
+    exit 1
+}
+echo "figure document byte-identical at -shards 1 and -shards 4"
 
 # The observability contract: identical runs, identical artifacts.
 for i in 1 2; do
