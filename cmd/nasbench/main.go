@@ -6,6 +6,7 @@
 //	nasbench                          # Figures 14-25, 28 and Tables 1-6
 //	nasbench -app LU -net QSN -procs 8
 //	nasbench -quick                   # class S smoke run
+//	nasbench -app LU -procs 1024 -topo clos:3:24:2 -shards 8
 //
 // Single-app mode prints the execution time and the per-process
 // communication profile.
@@ -16,12 +17,54 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"mpinet/internal/apps"
 	"mpinet/internal/cluster"
 	"mpinet/internal/experiments"
 	"mpinet/internal/trace"
 )
+
+// topoOptions translates the -topo/-routing/-shards flags into platform
+// options. An empty -topo keeps the classic auto-sized crossbar.
+func topoOptions(topo, routing string, shards int) ([]cluster.Option, error) {
+	var opts []cluster.Option
+	if topo != "" {
+		parts := strings.Split(topo, ":")
+		ints := make([]int, 0, len(parts)-1)
+		for _, s := range parts[1:] {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad -topo %q: %v", topo, err)
+			}
+			ints = append(ints, v)
+		}
+		switch {
+		case parts[0] == "crossbar" && len(ints) == 0:
+			opts = append(opts, cluster.Crossbar())
+		case parts[0] == "fattree" && len(ints) == 2:
+			opts = append(opts, cluster.FatTree(ints[0], ints[1]))
+		case parts[0] == "clos" && len(ints) == 3:
+			opts = append(opts, cluster.Clos(ints[0], ints[1], ints[2]))
+		default:
+			return nil, fmt.Errorf("bad -topo %q: want crossbar, fattree:RADIX:OVERSUB or clos:LEVELS:RADIX:OVERSUB", topo)
+		}
+	}
+	switch routing {
+	case "":
+	case "deterministic":
+		opts = append(opts, cluster.WithRouting(cluster.Deterministic))
+	case "adaptive":
+		opts = append(opts, cluster.WithRouting(cluster.Adaptive))
+	default:
+		return nil, fmt.Errorf("bad -routing %q: want deterministic or adaptive", routing)
+	}
+	if shards > 1 {
+		opts = append(opts, cluster.WithShards(shards))
+	}
+	return opts, nil
+}
 
 func main() {
 	app := flag.String("app", "", "run one workload (IS CG MG LU FT SP BT S3D-50 S3D-150)")
@@ -30,6 +73,9 @@ func main() {
 	perNode := flag.Int("ppn", 1, "processes per node (2 = the paper's SMP mode)")
 	classB := flag.Bool("classB", true, "use the paper's class B size (false = class S)")
 	quick := flag.Bool("quick", false, "full suite in class S smoke mode")
+	topo := flag.String("topo", "", "fabric topology: crossbar, fattree:RADIX:OVERSUB, clos:LEVELS:RADIX:OVERSUB")
+	routing := flag.String("routing", "", "up-link routing on a multi-stage topology: deterministic, adaptive")
+	shards := flag.Int("shards", 1, "event-loop shards (requires -topo for worlds past one shard)")
 	timeline := flag.Int("timeline", 0, "with -app: dump the first N message events")
 	util := flag.Bool("util", false, "with -app: print the busiest hardware resources")
 	verbose := flag.Bool("v", false, "print progress to stderr")
@@ -55,6 +101,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nasbench: unknown network %q\n", *net)
 		os.Exit(2)
 	}
+	opts, err := topoOptions(*topo, *routing, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasbench:", err)
+		os.Exit(2)
+	}
+	p = p.With(opts...)
 	a, err := apps.ByName(*app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nasbench:", err)

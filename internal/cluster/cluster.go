@@ -12,6 +12,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"mpinet/internal/bus"
 	"mpinet/internal/dev"
 	"mpinet/internal/elan"
@@ -61,7 +63,107 @@ type Settings struct {
 	// Shards is the conservative-parallel shard count the network's engine
 	// group is built with (0 or 1 = plain serial engine). See WithShards.
 	Shards int
+	// Topology, when non-nil, selects a parameterized fabric from the
+	// topology option family (Crossbar, FatTree, Clos); nil keeps the
+	// platform's classic single crossbar. Unlike the legacy knobs, a
+	// Topology also carries the node-domain placement that lets sharded
+	// runs split the device build across engines.
+	Topology *TopologySpec
+	// Routing selects the multi-stage fabric's path policy (WithRouting);
+	// inert on crossbar fabrics.
+	Routing fabric.Routing
+	// MinNodes floors the node count New wires, whatever smaller count the
+	// caller asks for (MinNodes option; the IBAFatTree compatibility path).
+	MinNodes int
+
+	// domains is the node-domain placement Platform.New computes for
+	// topology-API worlds and hands to the device builders; never set by an
+	// Option.
+	domains *dev.Domains
 }
+
+// TopoKind enumerates the parameterized fabrics of the topology API.
+type TopoKind int
+
+const (
+	// TopoCrossbar is the single-crossbar star, with the switch radix grown
+	// to the node count.
+	TopoCrossbar TopoKind = iota
+	// TopoFatTree is the two-level folded Clos (leaf/spine).
+	TopoFatTree
+	// TopoClos is the general multi-level folded Clos.
+	TopoClos
+)
+
+// TopologySpec is the resolved fabric selection of the topology option
+// family: which fabric, and its dimensions.
+type TopologySpec struct {
+	Kind    TopoKind
+	Levels  int // switching levels (Clos; FatTree pins 2)
+	Radix   int // ports per switching element
+	Oversub int // leaf oversubscription ratio N in N:1
+}
+
+// optionName renders the option call this spec came from, for ConfigError.
+func (t *TopologySpec) optionName() string {
+	switch t.Kind {
+	case TopoCrossbar:
+		return "Crossbar()"
+	case TopoFatTree:
+		return fmt.Sprintf("FatTree(%d, %d)", t.Radix, t.Oversub)
+	default:
+		return fmt.Sprintf("Clos(%d, %d, %d)", t.Levels, t.Radix, t.Oversub)
+	}
+}
+
+// hostsPerLeaf is the host port count per leaf element.
+func (t *TopologySpec) hostsPerLeaf() int { return t.Radix * t.Oversub / (t.Oversub + 1) }
+
+// validate checks the spec's dimensions, wrapping the fabric-level report
+// into a ConfigError that names the offending option call.
+func (t *TopologySpec) validate() error {
+	if t.Kind == TopoCrossbar {
+		return nil
+	}
+	cc := fabric.ClosConfig{Levels: t.Levels, Radix: t.Radix, Oversub: t.Oversub}
+	if err := cc.Validate(); err != nil {
+		return &ConfigError{Option: t.optionName(), Reason: err.Error()}
+	}
+	return nil
+}
+
+// closConfig assembles the device-facing fabric configuration (rates and
+// latencies stay zero: each interconnect fills its own calibration).
+func (t *TopologySpec) closConfig(s Settings) *fabric.ClosConfig {
+	return &fabric.ClosConfig{
+		Levels:  t.Levels,
+		Radix:   t.Radix,
+		Oversub: t.Oversub,
+		Routing: s.Routing,
+		Seed:    s.Seed,
+	}
+}
+
+// ConfigError reports an invalid platform option combination, named after
+// the option call that produced it (the same typed-validation style the
+// options of internal/faults use). Platform.New cannot return an error, so
+// the value rides the built network as its ConfigErr (dev.ConfigErrer) and
+// surfaces from mpi.NewWorld.
+type ConfigError struct {
+	Option string // the option call, e.g. "FatTree(24, 3)"
+	Reason string // what is wrong with it
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cluster: invalid %s: %s", e.Option, e.Reason)
+}
+
+// Routing policy values, re-exported so platform callers need not import
+// the fabric package.
+const (
+	Deterministic = fabric.Deterministic
+	Adaptive      = fabric.Adaptive
+)
 
 // plan resolves the effective fault plan: a copy of Faults with the Seed
 // override applied, or nil when faults are off.
@@ -103,11 +205,37 @@ const defaultLookahead = 40 * units.Nanosecond
 // workloads (and the staged device-domain split, see docs/MODEL.md §17) use
 // the remaining shards.
 func (p Platform) New(nodes int) dev.Network {
-	if p.base.Shards <= 1 {
-		return p.build(sim.New(), nodes, p.base)
+	s := p.base
+	if nodes < s.MinNodes {
+		nodes = s.MinNodes
 	}
-	group := sim.NewSharded(p.base.Shards, defaultLookahead)
-	net := p.build(group.Shard(0), nodes, p.base)
+	if s.Topology != nil {
+		if err := s.Topology.validate(); err != nil {
+			return errNetwork{eng: sim.New(), err: err}
+		}
+	}
+	if s.Shards <= 1 {
+		eng := sim.New()
+		if s.Topology != nil {
+			s.domains = &dev.Domains{
+				NodeShard: s.partitionFor(nodes).NodeShard,
+				Engines:   []*sim.Engine{eng},
+			}
+		}
+		return p.build(eng, nodes, s)
+	}
+	group := sim.NewSharded(s.Shards, defaultLookahead)
+	if s.Topology != nil {
+		engines := make([]*sim.Engine, s.Shards)
+		for i := range engines {
+			engines[i] = group.Shard(i)
+		}
+		s.domains = &dev.Domains{
+			NodeShard: s.partitionFor(nodes).NodeShard,
+			Engines:   engines,
+		}
+	}
+	net := p.build(group.Shard(0), nodes, s)
 	if lr, ok := net.(dev.LookaheadReporter); ok {
 		if la := lr.MinLinkLatency(); la > 0 {
 			group.SetLookahead(la)
@@ -119,8 +247,47 @@ func (p Platform) New(nodes int) dev.Network {
 // Partition reports the node/switch → shard placement New would use for an
 // n-node world at the platform's configured shard count.
 func (p Platform) Partition(nodes int) sim.Partition {
-	return sim.PartitionNodes(nodes, p.base.Shards)
+	return p.base.partitionFor(nodes)
 }
+
+// partitionFor computes the node → shard placement. Multi-stage fabrics get
+// a leaf-aligned split — all hosts of a leaf share a shard, so every
+// leaf-local fabric resource (up-link pipes, dispersion counters) is owned
+// by exactly one engine; everything else keeps the contiguous block split.
+func (s Settings) partitionFor(nodes int) sim.Partition {
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if t := s.Topology; t != nil && t.Kind != TopoCrossbar {
+		hpl := t.hostsPerLeaf()
+		leaves := (nodes + hpl - 1) / hpl
+		if leaves < 2 {
+			leaves = 2
+		}
+		p := sim.Partition{Shards: shards, NodeShard: make([]int, nodes)}
+		for i := range p.NodeShard {
+			p.NodeShard[i] = (i / hpl) * shards / leaves
+		}
+		return p
+	}
+	return sim.PartitionNodes(nodes, shards)
+}
+
+// errNetwork is the network a misconfigured platform builds: it carries the
+// validation failure for mpi.NewWorld to surface (dev.ConfigErrer) and
+// panics with it on any attempt at actual use.
+type errNetwork struct {
+	eng *sim.Engine
+	err error
+}
+
+func (n errNetwork) Name() string                  { return "invalid" }
+func (n errNetwork) Engine() *sim.Engine           { return n.eng }
+func (n errNetwork) Nodes() int                    { return 0 }
+func (n errNetwork) NewEndpoint(int) dev.Endpoint  { panic(n.err) }
+func (n errNetwork) ShmemBelow() int64             { return 0 }
+func (n errNetwork) ConfigErr() error              { return n.err }
 
 // With derives a variant platform with the options' platform-side effects
 // applied. Options that carry a name suffix (PCIBus -> "-PCI") extend the
@@ -194,11 +361,63 @@ func Multicast() Option {
 	return Option{suffix: "-MC", platform: func(s *Settings) { s.Multicast = true }}
 }
 
-// FatTree replaces the single crossbar with a two-level fat tree sized
-// from the node count: 16 hosts and 8 up-links per 24-port leaf, 2:1
-// oversubscribed.
-func FatTree() Option {
+// AutoFatTree replaces the single crossbar with the legacy two-level fat
+// tree sized from the node count: 16 hosts and 8 up-links per 24-port leaf,
+// 2:1 oversubscribed (verbs only).
+//
+// Deprecated: use FatTree(24, 2), which wires the same geometry through the
+// parameterized Clos fabric, works on every interconnect, and supports
+// sharded node domains.
+func AutoFatTree() Option {
 	return Option{suffix: "-FT", platform: func(s *Settings) { s.AutoFatTree = true }}
+}
+
+// Crossbar pins the platform to its single-crossbar fabric explicitly
+// through the topology API. Unlike the implicit default, the switch radix
+// grows with the node count instead of refusing past the paper's port
+// count, and sharded runs split the device build across node domains.
+func Crossbar() Option {
+	return Option{platform: func(s *Settings) {
+		s.Topology = &TopologySpec{Kind: TopoCrossbar}
+	}}
+}
+
+// FatTree replaces the single crossbar with a two-level folded-Clos
+// (leaf/spine) fabric built from radix-port elements at the given
+// oversubscription ratio. FatTree(24, 2) — 16 hosts and 8 up-links per
+// leaf — reproduces the legacy AutoFatTree geometry.
+func FatTree(radix, oversub int) Option {
+	return Option{suffix: "-FT", platform: func(s *Settings) {
+		s.Topology = &TopologySpec{Kind: TopoFatTree, Levels: 2, Radix: radix, Oversub: oversub}
+	}}
+}
+
+// Clos generalizes FatTree to deeper fabrics: levels switching levels of
+// radix-port elements with the given leaf oversubscription — the shape of
+// thousand-rank clusters that outgrow one spine tier.
+func Clos(levels, radix, oversub int) Option {
+	return Option{suffix: "-Clos", platform: func(s *Settings) {
+		s.Topology = &TopologySpec{Kind: TopoClos, Levels: levels, Radix: radix, Oversub: oversub}
+	}}
+}
+
+// WithRouting selects the multi-stage fabric's path policy: Deterministic
+// ECMP (the default) or Adaptive dispersive routing. Adaptive variants
+// carry a "-adapt" name suffix so reports distinguish the two models;
+// inert on crossbar fabrics.
+func WithRouting(r fabric.Routing) Option {
+	suffix := ""
+	if r == fabric.Adaptive {
+		suffix = "-adapt"
+	}
+	return Option{suffix: suffix, platform: func(s *Settings) { s.Routing = r }}
+}
+
+// MinNodes floors the node count New wires, whatever smaller count the
+// caller asks for — the deprecation path for constructors whose size
+// argument predates sizing from New's own argument.
+func MinNodes(n int) Option {
+	return Option{platform: func(s *Settings) { s.MinNodes = n }}
 }
 
 // EagerThreshold overrides the eager/rendezvous protocol switch point —
@@ -220,7 +439,8 @@ func WithFaults(plan *faults.Plan) Option {
 	return Option{platform: func(s *Settings) { s.Faults = plan }}
 }
 
-// WithSeed overrides the fault plan's seed; without a plan it is inert.
+// WithSeed overrides the fault plan's seed and drives the adaptive-routing
+// tie-break PRNG; with neither a plan nor adaptive routing it is inert.
 func WithSeed(seed uint64) Option {
 	return Option{platform: func(s *Settings) { s.Seed = seed }}
 }
@@ -298,6 +518,16 @@ func buildIBA(eng *sim.Engine, nodes int, s Settings) dev.Network {
 		}
 		cfg.FatTree = &fabric.FatTreeConfig{HostsPerLeaf: 16, Leaves: leaves, Spines: 8}
 	}
+	if s.Topology != nil {
+		if s.Topology.Kind == TopoCrossbar {
+			if cfg.SwitchPorts < nodes {
+				cfg.SwitchPorts = nodes
+			}
+		} else {
+			cfg.Clos = s.Topology.closConfig(s)
+		}
+		cfg.Domains = s.domains
+	}
 	cfg.Faults = s.plan().Flatten(0)
 	return verbs.New(eng, cfg)
 }
@@ -309,6 +539,16 @@ func buildMyri(eng *sim.Engine, nodes int, s Settings) dev.Network {
 	if s.SwitchPorts > 0 {
 		cfg.SwitchPorts = s.SwitchPorts
 	}
+	if s.Topology != nil {
+		if s.Topology.Kind == TopoCrossbar {
+			if cfg.SwitchPorts < nodes {
+				cfg.SwitchPorts = nodes
+			}
+		} else {
+			cfg.Clos = s.Topology.closConfig(s)
+		}
+		cfg.Domains = s.domains
+	}
 	cfg.Faults = s.plan().Flatten(0)
 	return gm.New(eng, cfg)
 }
@@ -319,6 +559,16 @@ func buildQSN(eng *sim.Engine, nodes int, s Settings) dev.Network {
 	cfg.EagerThreshold = s.EagerThreshold
 	if s.SwitchPorts > 0 {
 		cfg.SwitchPorts = s.SwitchPorts
+	}
+	if s.Topology != nil {
+		if s.Topology.Kind == TopoCrossbar {
+			if cfg.SwitchPorts < nodes {
+				cfg.SwitchPorts = nodes
+			}
+		} else {
+			cfg.Clos = s.Topology.closConfig(s)
+		}
+		cfg.Domains = s.domains
 	}
 	cfg.Faults = s.plan().Flatten(0)
 	return elan.New(eng, cfg)
@@ -370,6 +620,13 @@ func Bond(primary Platform, others ...Platform) Platform {
 			rails := make([]dev.Network, len(members))
 			for i, m := range members {
 				ms := m.base
+				if ms.Topology == nil {
+					// Bond-level fabric choice applies to every rail; node
+					// domains stay unset — the rail bond itself is
+					// single-domain, so members never activate scale mode.
+					ms.Topology = s.Topology
+					ms.Routing = s.Routing
+				}
 				if ms.EagerThreshold == 0 {
 					ms.EagerThreshold = s.EagerThreshold
 				}
@@ -422,11 +679,12 @@ func IBAMulticast() Platform { return IBA().With(Multicast()) }
 // IBAFatTree is InfiniBand on a two-level fat tree built from 24-port
 // elements (16 hosts and 8 up-links per leaf): the scaling extension for
 // clusters larger than one switch. It grows to 16*leaves hosts with 2:1
-// oversubscription. The argument is ignored (the tree is sized from the
-// node count passed to New); it is kept for call compatibility.
+// oversubscription. The argument is the minimum cluster size the tree is
+// wired for (it used to be silently ignored; the tree is sized from the
+// larger of it and the node count passed to New).
 //
-// Deprecated: use IBA().With(FatTree()).
-func IBAFatTree(int) Platform { return IBA().With(FatTree()) }
+// Deprecated: use IBA().With(FatTree(24, 2)).
+func IBAFatTree(n int) Platform { return IBA().With(AutoFatTree(), MinNodes(n)) }
 
 // IBAEagerThreshold is InfiniBand with an overridden eager/rendezvous
 // switch point — the ablation knob behind the Figure 2 protocol-dip study.

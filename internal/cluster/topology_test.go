@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpinet/internal/dev"
+)
+
+func TestTopologyOptionNames(t *testing.T) {
+	cases := []struct {
+		p    Platform
+		want string
+	}{
+		{IBA().With(Crossbar()), "IBA"},
+		{IBA().With(FatTree(24, 2)), "IBA-FT"},
+		{Myri().With(Clos(3, 24, 2)), "Myri-Clos"},
+		{QSN().With(FatTree(16, 1), WithRouting(Adaptive)), "QSN-FT-adapt"},
+	}
+	for _, c := range cases {
+		if c.p.Name != c.want {
+			t.Errorf("platform name = %q, want %q", c.p.Name, c.want)
+		}
+	}
+}
+
+func TestInvalidTopologySurfacesConfigError(t *testing.T) {
+	// 25 ports cannot split 2:1; the builder cannot return an error, so the
+	// network must carry a typed ConfigError naming the option call.
+	net := IBA().With(FatTree(25, 2)).New(8)
+	ce, ok := net.(dev.ConfigErrer)
+	if !ok || ce.ConfigErr() == nil {
+		t.Fatal("invalid FatTree built a usable network")
+	}
+	var cfgErr *ConfigError
+	if !errors.As(ce.ConfigErr(), &cfgErr) {
+		t.Fatalf("error type %T, want *ConfigError", ce.ConfigErr())
+	}
+	if cfgErr.Option != "FatTree(25, 2)" {
+		t.Errorf("Option = %q, want the offending call", cfgErr.Option)
+	}
+	if !strings.Contains(cfgErr.Error(), "cluster: invalid FatTree(25, 2)") {
+		t.Errorf("message = %q", cfgErr.Error())
+	}
+	// The stub still satisfies the network interface without panicking on
+	// the read-only methods NewWorld touches first.
+	if net.Nodes() != 0 || net.Engine() == nil {
+		t.Fatal("error network stub misbehaves")
+	}
+}
+
+func TestValidTopologiesBuild(t *testing.T) {
+	for _, p := range []Platform{
+		IBA().With(Crossbar()),
+		IBA().With(FatTree(24, 2)),
+		Myri().With(Clos(2, 8, 1)),
+		QSN().With(Clos(3, 24, 2), WithRouting(Adaptive)),
+	} {
+		net := p.New(32)
+		if ce, ok := net.(dev.ConfigErrer); ok && ce.ConfigErr() != nil {
+			t.Fatalf("%s: %v", p.Name, ce.ConfigErr())
+		}
+		if net.Nodes() < 32 {
+			t.Fatalf("%s wired %d nodes", p.Name, net.Nodes())
+		}
+		dn, ok := net.(dev.DomainNetwork)
+		if !ok || dn.Domains() == nil {
+			t.Fatalf("%s: topology API network lacks a domain placement", p.Name)
+		}
+	}
+}
+
+// IBAFatTree's node-count argument used to be ignored: the platform built
+// however many nodes the caller later passed to New, so pre-sizing the tree
+// for p processes did nothing. It now floors the built world.
+func TestIBAFatTreeHonorsNodeCount(t *testing.T) {
+	net := IBAFatTree(64).New(4)
+	if net.Nodes() < 64 {
+		t.Fatalf("IBAFatTree(64).New(4) wired %d nodes, want >= 64", net.Nodes())
+	}
+	// Asking for more than the floor still grows.
+	if n := IBAFatTree(16).New(64).Nodes(); n < 64 {
+		t.Fatalf("IBAFatTree(16).New(64) wired %d nodes", n)
+	}
+}
+
+func TestLeafAlignedPartition(t *testing.T) {
+	p := IBA().With(FatTree(24, 2), WithShards(4))
+	part := p.Partition(64) // 16 hosts/leaf, 4 leaves
+	if part.Shards != 4 {
+		t.Fatalf("shards = %d", part.Shards)
+	}
+	hpl := 16
+	for leaf := 0; leaf < 4; leaf++ {
+		want := part.NodeShard[leaf*hpl]
+		for i := 0; i < hpl; i++ {
+			if part.NodeShard[leaf*hpl+i] != want {
+				t.Fatalf("leaf %d split across shards", leaf)
+			}
+		}
+	}
+}

@@ -202,3 +202,49 @@ type RetryReporter interface {
 type TraceAttacher interface {
 	AttachTracer(rec *msgtrace.Recorder)
 }
+
+// Domains is the node-domain placement of a sharded world: which shard owns
+// each node's device state (NIC, bus, link, leaf fabric ports) and the
+// engine of every shard. The cluster layer computes it leaf-aligned — all
+// hosts of one leaf element share a shard, so leaf-tier fabric state is
+// only ever touched by its owner domain. A single-engine (serial) run with
+// domain semantics uses a one-entry engine list; EngineFor then always
+// returns that engine and cross-domain scheduling degrades to plain
+// scheduling at identical timestamps.
+type Domains struct {
+	// NodeShard maps node index to owning shard.
+	NodeShard []int
+	// Engines holds the engine of each shard, in shard order.
+	Engines []*sim.Engine
+}
+
+// EngineFor returns the engine owning a node's device state.
+func (d *Domains) EngineFor(node int) *sim.Engine {
+	if len(d.Engines) == 1 {
+		return d.Engines[0]
+	}
+	return d.Engines[d.NodeShard[node]]
+}
+
+// DomainNetwork is implemented by networks wired with a Domains placement.
+// The placement is a capability until ActivateDomains flips it on: the MPI
+// layer activates only for worlds whose configuration is domain-clean (no
+// tracing, metrics, faults or hardware multicast), so every other world
+// keeps the classic single-domain semantics byte-for-byte.
+type DomainNetwork interface {
+	// Domains returns the wired placement, nil when the network was built
+	// without one.
+	Domains() *Domains
+	// ActivateDomains switches the network's device models to per-node
+	// engines and domain-mode timing. It reports false (and stays
+	// classic) when the network's configuration is incompatible.
+	ActivateDomains() bool
+}
+
+// ConfigErrer is implemented by networks built from an invalid
+// configuration: construction cannot return an error through the Platform
+// builder chain, so the network carries it and mpi.NewWorld surfaces it as
+// a validation failure before anything runs.
+type ConfigErrer interface {
+	ConfigErr() error
+}

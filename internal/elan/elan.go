@@ -48,6 +48,13 @@ type Config struct {
 	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
 	// enables the Elan source-retry machinery below.
 	Faults *faults.Plan
+	// Clos, when non-nil, replaces the single crossbar with a parameterized
+	// multi-stage Clos fabric (the redesigned topology API).
+	Clos *fabric.ClosConfig
+	// Domains, when non-nil, is the node-domain placement capability: the
+	// engines and node->shard map of a sharded world, consumed when
+	// ActivateDomains is called (see dev.DomainNetwork).
+	Domains *dev.Domains
 }
 
 // DefaultConfig is the paper's 8-node testbed.
@@ -117,11 +124,22 @@ var elanRetry = faults.RetryPolicy{Limit: 31, Interval: 30 * units.Microsecond}
 type Network struct {
 	eng   *sim.Engine
 	cfg   Config
-	sw    *fabric.Switch
+	topo  fabric.Topology
 	nodes []*nodeHW
 	met   *metrics.Registry
 	inj   *faults.Injector
 	rec   *msgtrace.Recorder
+
+	// dynamic marks adaptive routing: paths are chosen per message and
+	// must not be cached.
+	dynamic bool
+	// scale flips on domain mode: per-node engines, split transfers, and
+	// the per-source picosecond skew that keeps sharded commit order equal
+	// to serial dispatch order.
+	scale bool
+	// cfgErr carries a topology-validation failure to mpi.NewWorld
+	// (dev.ConfigErrer); construction itself cannot return an error.
+	cfgErr error
 }
 
 type nodeHW struct {
@@ -140,18 +158,34 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.SwitchPorts == 0 {
 		cfg.SwitchPorts = 16
 	}
-	if cfg.Nodes > cfg.SwitchPorts {
-		panic(fmt.Sprintf("elan: %d nodes exceed %d switch ports", cfg.Nodes, cfg.SwitchPorts))
-	}
-	n := &Network{
-		eng: eng,
-		cfg: cfg,
-		inj: faults.NewInjector(cfg.Faults),
-		sw: fabric.NewSwitch("elite16", fabric.SwitchConfig{
+	n := &Network{eng: eng, cfg: cfg, inj: faults.NewInjector(cfg.Faults)}
+	if cfg.Clos != nil {
+		cc := *cfg.Clos
+		if cc.LinkRate == 0 {
+			cc.LinkRate = units.BytesPerSecond(linkRateBps)
+		}
+		if cc.Crossing == 0 {
+			cc.Crossing = switchCrossing
+		}
+		if cc.WireLatency == 0 {
+			cc.WireLatency = wireLatency
+		}
+		topo, err := fabric.NewClos("elite-clos", cc, cfg.Nodes)
+		if err != nil {
+			n.cfgErr = fmt.Errorf("elan: %w", err)
+		} else {
+			n.topo = topo
+			n.dynamic = cc.Routing == fabric.Adaptive
+		}
+	} else {
+		if cfg.Nodes > cfg.SwitchPorts {
+			panic(fmt.Sprintf("elan: %d nodes exceed %d switch ports", cfg.Nodes, cfg.SwitchPorts))
+		}
+		n.topo = fabric.NewCrossbarTopology(fabric.NewSwitch("elite16", fabric.SwitchConfig{
 			Ports:    cfg.SwitchPorts,
 			Crossing: switchCrossing,
 			Rate:     units.BytesPerSecond(linkRateBps),
-		}),
+		}))
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("qsn%d", i)
@@ -193,6 +227,43 @@ func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
 // AttachTracer implements dev.TraceAttacher.
 func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
 
+// ConfigErr implements dev.ConfigErrer.
+func (n *Network) ConfigErr() error { return n.cfgErr }
+
+// Domains implements dev.DomainNetwork.
+func (n *Network) Domains() *dev.Domains { return n.cfg.Domains }
+
+// ActivateDomains implements dev.DomainNetwork: flips the network into
+// domain (scale) mode. The Elan source-retry machinery reads fault verdicts
+// at delivery time on the shared engine, so a fault plan refuses activation.
+func (n *Network) ActivateDomains() bool {
+	if n.cfg.Domains == nil || n.inj != nil {
+		return false
+	}
+	n.scale = true
+	return true
+}
+
+// engineFor returns the engine owning a node's device state: the shared
+// engine in classic mode, the node's domain engine in scale mode.
+func (n *Network) engineFor(node int) *sim.Engine {
+	if !n.scale {
+		return n.eng
+	}
+	return n.cfg.Domains.EngineFor(node)
+}
+
+// skew is the deterministic per-source-node latency perturbation of domain
+// mode: one picosecond times (node+1), added to every cross-node hop so
+// cross-shard commit order agrees with serial dispatch order at same-instant
+// collisions (see the verbs twin for the full rationale).
+func (n *Network) skew(node int) sim.Time {
+	if !n.scale {
+		return 0
+	}
+	return sim.Time(node + 1)
+}
+
 // ShmemConfig returns intra-node channel parameters (unused in practice
 // since ShmemBelow is 0, but required for interface completeness).
 func (n *Network) ShmemConfig() shmem.Config { return shmem.DefaultConfig() }
@@ -222,7 +293,10 @@ func (n *Network) InstrumentMetrics(m *metrics.Registry) {
 	}
 	// As in the other devices, the Elite crossbar's output contention rides
 	// the destination down-link, so its port pipes carry no traffic and are
-	// left unregistered.
+	// left unregistered; multi-stage fabrics register their leaf-tier links.
+	if ti, ok := n.topo.(interface{ Instrument(*metrics.Registry) }); ok {
+		ti.Instrument(m)
+	}
 	n.inj.Instrument(m)
 }
 
@@ -285,11 +359,21 @@ type endpoint struct {
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 
-	// Per-destination path caches: routing is static, but the stage list
-	// has two variants because PIO-sized sends skip the sender bus DMA.
-	pathsPIO [][]fabric.PathStage // size <= pioMax
-	pathsDMA [][]fabric.PathStage // size > pioMax
+	// Per-destination path caches: the stage list has two variants because
+	// PIO-sized sends skip the sender bus DMA. Small worlds use the dense
+	// slices; large worlds fill the maps lazily so a 4k-node world costs
+	// each endpoint only the peers it actually speaks to, not O(N) slots.
+	// Adaptive routing bypasses all four — the up-link choice is per
+	// message.
+	pathsPIO   [][]fabric.PathStage // size <= pioMax
+	pathsDMA   [][]fabric.PathStage // size > pioMax
+	pathMapPIO map[int][]fabric.PathStage
+	pathMapDMA map[int][]fabric.PathStage
 }
+
+// densePathNodes is the world size up to which per-destination path caches
+// stay dense arrays; above it they switch to lazy maps.
+const densePathNodes = 128
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -351,7 +435,7 @@ func (ep *endpoint) AcquireBuf(b memreg.Buf) sim.Time {
 	cost := ep.mmu.Acquire(b)
 	if cost > 0 {
 		hw := ep.net.nodes[ep.node]
-		now := ep.net.eng.Now()
+		now := ep.net.engineFor(ep.node).Now()
 		hw.elanProc.Use(now, cost)
 		hw.dmaTx.Use(now, cost)
 		hw.dmaRx.Use(now, cost)
@@ -373,7 +457,7 @@ func (ep *endpoint) IssueStall() sim.Time {
 	}
 	ep.cmdqStalls.Inc()
 	hw := ep.net.nodes[ep.node]
-	hw.elanProc.Use(ep.net.eng.Now(), queueThrash)
+	hw.elanProc.Use(ep.net.engineFor(ep.node).Now(), queueThrash)
 	return slowIssue
 }
 
@@ -387,7 +471,7 @@ func (ep *endpoint) MatchDelay(pending int, cb func()) {
 		pending = maxWalk
 	}
 	ep.matches.Inc()
-	eng := ep.net.eng
+	eng := ep.net.engineFor(ep.node)
 	hw := ep.net.nodes[ep.node]
 	_, end := hw.elanProc.Use(eng.Now(), matchBase+sim.Time(pending)*matchPerEntry)
 	eng.At(end, cb)
@@ -401,17 +485,36 @@ func (l elanStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 }
 
 // path returns the staged path to dst, assembled once per (destination,
-// PIO-or-DMA) variant and cached.
+// PIO-or-DMA) variant and cached — except under adaptive routing, where the
+// fabric picks the up-link per message and the path must be rebuilt.
 func (ep *endpoint) path(dst int, size int64) []fabric.PathStage {
-	cache := &ep.pathsPIO
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst, size)
+	}
+	if len(ep.net.nodes) <= densePathNodes {
+		cache := &ep.pathsPIO
+		if size > pioMax {
+			cache = &ep.pathsDMA
+		}
+		if *cache == nil {
+			*cache = make([][]fabric.PathStage, len(ep.net.nodes))
+		}
+		if p := (*cache)[dst]; p != nil {
+			return p
+		}
+		p := ep.buildPath(dst, size)
+		(*cache)[dst] = p
+		return p
+	}
+	cache := &ep.pathMapPIO
 	if size > pioMax {
-		cache = &ep.pathsDMA
+		cache = &ep.pathMapDMA
+	}
+	if p, ok := (*cache)[dst]; ok {
+		return p
 	}
 	if *cache == nil {
-		*cache = make([][]fabric.PathStage, len(ep.net.nodes))
-	}
-	if p := (*cache)[dst]; p != nil {
-		return p
+		*cache = make(map[int][]fabric.PathStage)
 	}
 	p := ep.buildPath(dst, size)
 	(*cache)[dst] = p
@@ -437,18 +540,60 @@ func (ep *endpoint) buildPath(dst int, size int64) []fabric.PathStage {
 		)
 	}
 	d := ep.net.nodes[dst]
-	return append(stages,
+	between, downLat := ep.net.topo.Between(ep.node, dst)
+	stages = append(stages,
 		fabric.PathStage{Stage: elanStage{src.elanProc}},
 		fabric.PathStage{Stage: src.dmaTx},
-		fabric.PathStage{Stage: src.link.Up(), Latency: wireLatency},
-		fabric.PathStage{Stage: d.link.Down(), Latency: ep.net.sw.Crossing() + wireLatency},
+		fabric.PathStage{Stage: src.link.Up(), Latency: wireLatency + ep.net.skew(ep.node)},
+	)
+	stages = append(stages, between...)
+	return append(stages,
+		fabric.PathStage{Stage: d.link.Down(), Latency: downLat + wireLatency},
 		fabric.PathStage{Stage: elanStage{d.elanProc}},
 		fabric.PathStage{Stage: d.dmaRx},
 		fabric.PathStage{Stage: d.bus},
 	)
 }
 
+// srcStages is the count of source-side stages of a cross-node path — the
+// NIC thread processor, send DMA and link up (plus the sender bus for
+// DMA-sized payloads, and whatever the topology keeps on the source leaf).
+// TransferCut runs them on the source's domain engine.
+func (ep *endpoint) srcStages(dst int, size int64) int {
+	n := 3
+	if size > pioMax {
+		n++
+	}
+	return n + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+}
+
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
+	if ep.net.scale {
+		// Domain mode: fault-free by construction (activation refuses fault
+		// plans) and untraced; the staged path is split at the wire so each
+		// node's hardware state stays on its own engine. The command-queue
+		// slot is source-NIC state, so its release rides a cross-domain hop
+		// back — one wire flight after delivery, carrying the destination's
+		// skew so commit order stays a pure function of simulated time.
+		eng := ep.net.engineFor(ep.node)
+		dstEng := ep.net.engineFor(dst)
+		ep.outstanding++
+		fabric.TransferCut(eng, dstEng, ep.path(dst, size), ep.srcStages(dst, size),
+			size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) {
+				if dst == ep.node {
+					ep.outstanding--
+				} else {
+					// ScheduleOn degrades to a same-engine Schedule with the
+					// identical delay when both nodes share a shard, so the
+					// release time is the same at every shard count.
+					dstEng.ScheduleOn(eng, wireLatency+ep.net.skew(dst), func() {
+						ep.outstanding--
+					})
+				}
+				deliver()
+			})
+		return
+	}
 	eng := ep.net.eng
 	rec := ep.net.rec
 	tid, rail := rec.Cur(), rec.CurRail()

@@ -160,5 +160,7 @@ func (r *Runner) RunExtensions(w io.Writer) {
 		figTask("Ext F", r.ExtFaults),
 		figTask("Ext G1", r.ExtRailLatency),
 		figTask("Ext G2", r.ExtRailBandwidth),
+		figTask("Ext H", r.ExtScaleMemory),
+		figTask("Ext I", r.ExtIncast),
 	})
 }

@@ -284,3 +284,97 @@ func ChunkFor(size int64) int64 {
 	}
 	return c
 }
+
+// cutXfer is an in-flight TransferCut: the cut-through chunk pipeline of
+// xfer, with the path split across two engines of one sharded group. Stages
+// [0, cut) — the source node's bus/NIC/link plus any source-leaf fabric
+// stage — execute on the source's engine; stages [cut, len) and the
+// completion sentinel execute on the destination's. The hand-off between
+// stage cut-1 and stage cut rides the wire-latency hop, which is at least
+// the group's cross-shard lookahead by construction (the lookahead IS the
+// minimum wire latency), so the cross-engine schedule never violates the
+// conservative window.
+type cutXfer struct {
+	src, dst *sim.Engine
+	path     []PathStage
+	cut      int
+	done     func(end sim.Time)
+	chunk    int64
+	last     int64
+	nchunks  int64
+}
+
+// engineFor returns the engine that owns a stage index (the sentinel
+// len(path) belongs to the destination).
+func (x *cutXfer) engineFor(stage int64) *sim.Engine {
+	if stage < int64(x.cut) {
+		return x.src
+	}
+	return x.dst
+}
+
+// HandleEvent implements sim.Handler on whichever engine owns the stage.
+func (x *cutXfer) HandleEvent(ci, stage int64) {
+	e := x.engineFor(stage)
+	if stage == int64(len(x.path)) {
+		x.done(e.Now())
+		return
+	}
+	n := x.chunk
+	if ci == x.nchunks-1 {
+		n = x.last
+	}
+	st := x.path[stage]
+	_, end := st.Stage.Send(e.Now(), n)
+	arrive := end + st.Latency
+	if stage == 0 && ci+1 < x.nchunks {
+		e.CallAt(end, x, ci+1, 0)
+	}
+	next := stage + 1
+	if next < int64(len(x.path)) || ci == x.nchunks-1 {
+		if ne := x.engineFor(next); ne == e {
+			e.CallAt(arrive, x, ci, next)
+		} else {
+			e.SendTo(ne.ShardID(), arrive-e.Now(), x, ci, next)
+		}
+	}
+}
+
+// TransferCut is Transfer with the path split across the source and
+// destination node domains of a sharded engine group: cut names the first
+// destination-side stage. With both ends on the same engine (same shard, or
+// a serial scale-mode run) it degrades to the plain single-engine pipeline,
+// scheduling the exact same (time, stage) sequence — the transport differs,
+// never the timing.
+func TransferCut(srcE, dstE *sim.Engine, path []PathStage, cut int, size, chunk int64, start sim.Time, done func(end sim.Time)) {
+	if srcE == dstE {
+		Transfer(srcE, path, size, chunk, start, done)
+		return
+	}
+	if chunk <= 0 {
+		panic("fabric: non-positive chunk")
+	}
+	if cut < 1 || cut > len(path) {
+		// Stage 0 must be source-side: the transfer is issued on the source
+		// engine, and every physical path starts at the source's own bus.
+		panic(fmt.Sprintf("fabric: cut %d outside path of %d stages", cut, len(path)))
+	}
+	if len(path) == 0 {
+		panic("fabric: TransferCut needs a staged path to cross domains")
+	}
+	if size <= 0 {
+		size = 1
+	}
+	nchunks := (size + chunk - 1) / chunk
+	x := &cutXfer{
+		src:     srcE,
+		dst:     dstE,
+		path:    path,
+		cut:     cut,
+		done:    done,
+		chunk:   chunk,
+		last:    size - (nchunks-1)*chunk,
+		nchunks: nchunks,
+	}
+	srcE.CallAt(start, x, 0, 0)
+}

@@ -47,6 +47,13 @@ type Config struct {
 	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
 	// enables the GM send-token resend machinery below.
 	Faults *faults.Plan
+	// Clos, when non-nil, replaces the single crossbar with a parameterized
+	// multi-stage Clos fabric (the redesigned topology API).
+	Clos *fabric.ClosConfig
+	// Domains, when non-nil, is the node-domain placement capability: the
+	// engines and node->shard map of a sharded world, consumed when
+	// ActivateDomains is called (see dev.DomainNetwork).
+	Domains *dev.Domains
 }
 
 // DefaultConfig is the paper's 8-node testbed.
@@ -108,11 +115,22 @@ var gmRetry = faults.RetryPolicy{Limit: 15, Interval: 200 * units.Microsecond}
 type Network struct {
 	eng   *sim.Engine
 	cfg   Config
-	sw    *fabric.Switch
+	topo  fabric.Topology
 	nodes []*nodeHW
 	met   *metrics.Registry
 	inj   *faults.Injector
 	rec   *msgtrace.Recorder
+
+	// dynamic marks adaptive routing: paths are chosen per message and
+	// must not be cached.
+	dynamic bool
+	// scale flips on domain mode: per-node engines, split transfers, and
+	// the per-source picosecond skew that keeps sharded commit order equal
+	// to serial dispatch order.
+	scale bool
+	// cfgErr carries a topology-validation failure to mpi.NewWorld
+	// (dev.ConfigErrer); construction itself cannot return an error.
+	cfgErr error
 }
 
 type nodeHW struct {
@@ -160,18 +178,34 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.SwitchPorts == 0 {
 		cfg.SwitchPorts = 8
 	}
-	if cfg.Nodes > cfg.SwitchPorts {
-		panic(fmt.Sprintf("gm: %d nodes exceed %d switch ports", cfg.Nodes, cfg.SwitchPorts))
-	}
-	n := &Network{
-		eng: eng,
-		cfg: cfg,
-		inj: faults.NewInjector(cfg.Faults),
-		sw: fabric.NewSwitch("myrinet2000", fabric.SwitchConfig{
+	n := &Network{eng: eng, cfg: cfg, inj: faults.NewInjector(cfg.Faults)}
+	if cfg.Clos != nil {
+		cc := *cfg.Clos
+		if cc.LinkRate == 0 {
+			cc.LinkRate = units.BytesPerSecond(linkRateBps)
+		}
+		if cc.Crossing == 0 {
+			cc.Crossing = switchCrossing
+		}
+		if cc.WireLatency == 0 {
+			cc.WireLatency = wireLatency
+		}
+		topo, err := fabric.NewClos("myri-clos", cc, cfg.Nodes)
+		if err != nil {
+			n.cfgErr = fmt.Errorf("gm: %w", err)
+		} else {
+			n.topo = topo
+			n.dynamic = cc.Routing == fabric.Adaptive
+		}
+	} else {
+		if cfg.Nodes > cfg.SwitchPorts {
+			panic(fmt.Sprintf("gm: %d nodes exceed %d switch ports", cfg.Nodes, cfg.SwitchPorts))
+		}
+		n.topo = fabric.NewCrossbarTopology(fabric.NewSwitch("myrinet2000", fabric.SwitchConfig{
 			Ports:    cfg.SwitchPorts,
 			Crossing: switchCrossing,
 			Rate:     units.BytesPerSecond(linkRateBps),
-		}),
+		}))
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("myri%d", i)
@@ -214,6 +248,44 @@ func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
 // AttachTracer implements dev.TraceAttacher.
 func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
 
+// ConfigErr implements dev.ConfigErrer.
+func (n *Network) ConfigErr() error { return n.cfgErr }
+
+// Domains implements dev.DomainNetwork.
+func (n *Network) Domains() *dev.Domains { return n.cfg.Domains }
+
+// ActivateDomains implements dev.DomainNetwork: flips the network into
+// domain (scale) mode. The GM send-token resend machinery reads fault
+// verdicts at delivery time on the shared engine, so a fault plan refuses
+// activation.
+func (n *Network) ActivateDomains() bool {
+	if n.cfg.Domains == nil || n.inj != nil {
+		return false
+	}
+	n.scale = true
+	return true
+}
+
+// engineFor returns the engine owning a node's device state: the shared
+// engine in classic mode, the node's domain engine in scale mode.
+func (n *Network) engineFor(node int) *sim.Engine {
+	if !n.scale {
+		return n.eng
+	}
+	return n.cfg.Domains.EngineFor(node)
+}
+
+// skew is the deterministic per-source-node latency perturbation of domain
+// mode: one picosecond times (node+1), added to every cross-node hop so
+// cross-shard commit order agrees with serial dispatch order at same-instant
+// collisions (see the verbs twin for the full rationale).
+func (n *Network) skew(node int) sim.Time {
+	if !n.scale {
+		return 0
+	}
+	return sim.Time(node + 1)
+}
+
 // ShmemConfig returns the intra-node channel parameters for MPICH-GM, whose
 // shared-memory path has the lowest small-message cost of the three
 // implementations (~1.3 us).
@@ -253,7 +325,10 @@ func (n *Network) InstrumentMetrics(m *metrics.Registry) {
 	}
 	// The star path carries switch output contention on the destination's
 	// down-link (see fabric.Switch), so the crossbar's own port pipes never
-	// run and registering them would only add zero rows.
+	// run; multi-stage fabrics register their leaf-tier links here.
+	if ti, ok := n.topo.(interface{ Instrument(*metrics.Registry) }); ok {
+		ti.Instrument(m)
+	}
 	n.inj.Instrument(m)
 }
 
@@ -307,9 +382,18 @@ type endpoint struct {
 	retryErrors *metrics.Counter
 
 	// paths caches the assembled per-destination staged path: the route
-	// through LANai, DMA engines and the crossbar is static per (src, dst).
-	paths [][]fabric.PathStage
+	// through LANai, DMA engines and the fabric is static per (src, dst)
+	// under deterministic routing. Small worlds use the dense slice; large
+	// worlds fill pathMap lazily so a 4k-node world costs each endpoint only
+	// the peers it actually speaks to, not O(N) slots. Adaptive routing
+	// bypasses both — the up-link choice is per message.
+	paths   [][]fabric.PathStage
+	pathMap map[int][]fabric.PathStage
 }
+
+// densePathNodes is the world size up to which per-destination path caches
+// stay dense arrays; above it they switch to lazy maps.
+const densePathNodes = 128
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -379,22 +463,38 @@ func (l lanaiStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 }
 
 // path returns the staged path to dst, assembled once per destination and
-// cached.
+// cached — except under adaptive routing, where the fabric picks the
+// up-link per message and the path must be rebuilt.
 func (ep *endpoint) path(dst int) []fabric.PathStage {
-	if ep.paths == nil {
-		ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst)
 	}
-	if p := ep.paths[dst]; p != nil {
+	if len(ep.net.nodes) <= densePathNodes {
+		if ep.paths == nil {
+			ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+		}
+		if p := ep.paths[dst]; p != nil {
+			return p
+		}
+		p := ep.buildPath(dst)
+		ep.paths[dst] = p
 		return p
 	}
+	if p, ok := ep.pathMap[dst]; ok {
+		return p
+	}
+	if ep.pathMap == nil {
+		ep.pathMap = make(map[int][]fabric.PathStage)
+	}
 	p := ep.buildPath(dst)
-	ep.paths[dst] = p
+	ep.pathMap[dst] = p
 	return p
 }
 
 // buildPath assembles the staged path to dst. The LANai engine appears once
 // per side per message (envelope processing); payload chunks flow through
-// the per-direction DMA engines and the link.
+// the per-direction DMA engines and the link, with the topology's stages
+// (none for the star crossbar, leaf links for a Clos) between them.
 func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	src := ep.net.nodes[ep.node]
 	if dst == ep.node {
@@ -408,19 +508,34 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 		}
 	}
 	d := ep.net.nodes[dst]
-	return []fabric.PathStage{
+	between, downLat := ep.net.topo.Between(ep.node, dst)
+	stages := []fabric.PathStage{
 		{Stage: src.bus},
 		{Stage: lanaiStage{src.lanai}},
 		{Stage: src.sdma},
-		{Stage: src.link.Up(), Latency: wireLatency},
-		{Stage: d.link.Down(), Latency: ep.net.sw.Crossing() + wireLatency},
-		{Stage: lanaiStage{d.lanai}},
-		{Stage: d.rdma},
-		{Stage: d.bus},
+		{Stage: src.link.Up(), Latency: wireLatency + ep.net.skew(ep.node)},
 	}
+	stages = append(stages, between...)
+	return append(stages,
+		fabric.PathStage{Stage: d.link.Down(), Latency: downLat + wireLatency},
+		fabric.PathStage{Stage: lanaiStage{d.lanai}},
+		fabric.PathStage{Stage: d.rdma},
+		fabric.PathStage{Stage: d.bus},
+	)
+}
+
+// srcStages is the count of source-side stages of a cross-node path — bus,
+// LANai, send-DMA and link up, plus whatever the topology keeps on the
+// source leaf. TransferCut runs them on the source's domain engine.
+func (ep *endpoint) srcStages(dst int) int {
+	return 4 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
 }
 
 func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
+	if ep.net.scale {
+		ep.scaleTransfer(dst, size, bulk, deliver)
+		return
+	}
 	eng := ep.net.eng
 	src := ep.net.nodes[ep.node]
 	dstHW := ep.net.nodes[dst]
@@ -489,6 +604,57 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 			})
 	}
 	try(start)
+}
+
+// scaleTransfer is the domain-mode transfer: fault-free by construction
+// (activation refuses fault plans) and untraced, with the staged path split
+// at the wire so each node's hardware state stays on its own engine. The
+// SRAM staging and GM-reliability side effects that touch the peer node are
+// routed through cross-domain hops instead of mutated in place:
+//
+//   - the receiver's outRx staging claim lands one wire flight after issue,
+//   - the sender's ACK (LANai absorb + outTx release) lands one ack flight
+//     after delivery,
+//
+// each carrying the originating node's skew so commit order stays a pure
+// function of simulated time at every shard count.
+func (ep *endpoint) scaleTransfer(dst int, size int64, bulk bool, deliver func()) {
+	eng := ep.net.engineFor(ep.node)
+	dstEng := ep.net.engineFor(dst)
+	src := ep.net.nodes[ep.node]
+	dstHW := ep.net.nodes[dst]
+	if bulk {
+		src.outTx += size
+		if dstHW == src {
+			dstHW.outRx += size
+		} else {
+			eng.ScheduleOn(dstEng, wireLatency+ep.net.skew(ep.node), func() {
+				dstHW.outRx += size
+			})
+		}
+	}
+	fabric.TransferCut(eng, dstEng, ep.path(dst), ep.srcStages(dst),
+		size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) {
+			if bulk {
+				dstHW.outRx -= size
+			}
+			dstHW.lanai.Use(dstEng.Now(), ackProcess)
+			dstHW.acks.Inc()
+			if dstHW == src {
+				if bulk {
+					src.outTx -= size
+				}
+			} else {
+				dstEng.ScheduleOn(eng, ackFlight+ep.net.skew(dst), func() {
+					if bulk {
+						src.outTx -= size
+					}
+					src.lanai.Use(eng.Now(), ackProcess)
+					src.acks.Inc()
+				})
+			}
+			deliver()
+		})
 }
 
 // wireAttempt runs one transfer attempt over the staged path, recording the

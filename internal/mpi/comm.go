@@ -145,8 +145,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	ps := c.r.ps
 	gen := ps.splitGen[c.id]
 	ps.splitGen[c.id] = gen + 1
-	board := ps.world.splitBoard(c.id, gen)
-	board[c.me] = [2]int{color, key}
+	ps.world.postSplit(c.id, gen, c.me, color, key)
 
 	// Agreement traffic: ring allgather of 8-byte entries over the parent.
 	// Completing it guarantees every member has posted to the board. It is
@@ -166,6 +165,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	})
 
 	// Build my group: members with my color, ordered by (key, parent rank).
+	board := ps.world.readSplit(c.id, gen, p)
 	type member struct{ key, rank int }
 	var group []member
 	for rank := 0; rank < p; rank++ {
@@ -222,9 +222,13 @@ func (c *Comm) Dup() *Comm {
 const tagSplit = -17
 
 // commID returns a stable context id for a rank list, identical across all
-// members (the simulation analogue of context-id agreement).
+// members (the simulation analogue of context-id agreement). Guarded by
+// commMu: in scale mode the members run on different shards, and the
+// completed agreement traffic — not this map — is what orders their calls.
 func (w *World) commID(ranks []int) int {
 	key := rankKey(ranks)
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
 	if id, ok := w.commIDs[key]; ok {
 		return id
 	}
@@ -234,7 +238,7 @@ func (w *World) commID(ranks []int) int {
 }
 
 // splitBoard returns the posting board for one Split generation on a
-// parent communicator.
+// parent communicator. Callers hold commMu.
 func (w *World) splitBoard(parentComm, gen int) map[int][2]int {
 	key := [2]int{parentComm, gen}
 	b, ok := w.splitBoards[key]
@@ -243,6 +247,28 @@ func (w *World) splitBoard(parentComm, gen int) map[int][2]int {
 		w.splitBoards[key] = b
 	}
 	return b
+}
+
+// postSplit records one member's color/key on the generation board before
+// the agreement traffic runs.
+func (w *World) postSplit(parentComm, gen, me, color, key int) {
+	w.commMu.Lock()
+	w.splitBoard(parentComm, gen)[me] = [2]int{color, key}
+	w.commMu.Unlock()
+}
+
+// readSplit snapshots the board once the member's allgather has completed,
+// which guarantees (through the message traffic's cross-shard ordering)
+// that all p postings are present.
+func (w *World) readSplit(parentComm, gen, p int) map[int][2]int {
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
+	b := w.splitBoard(parentComm, gen)
+	out := make(map[int][2]int, p)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
 }
 
 func rankKey(ranks []int) string {

@@ -18,11 +18,16 @@ import (
 // cooperative scheduler guarantees mutual exclusion.
 type procState struct {
 	world *World
-	rank  int
-	node  int
-	ep    dev.Endpoint
-	as    *memreg.AddressSpace
-	prof  *trace.Profile
+	// eng is the engine this rank's state lives on: the node's domain
+	// engine in scale mode, the world engine otherwise. Every timestamp
+	// and timer of this rank reads it, never world.eng, so rank state is
+	// only ever touched from its owning shard.
+	eng  *sim.Engine
+	rank int
+	node int
+	ep   dev.Endpoint
+	as   *memreg.AddressSpace
+	prof *trace.Profile
 
 	posted []*Request // receive queue, post order
 	unexp  []*inMsg   // unexpected messages, arrival order
@@ -88,7 +93,7 @@ func (ps *procState) finishReq(r *Request, name string) {
 	if ps.met == nil {
 		return
 	}
-	now := ps.world.eng.Now()
+	now := ps.eng.Now()
 	ps.reqHist.Observe(r.size, now-r.born)
 	ps.met.Span(metrics.Span{
 		Node: ps.node, Track: ps.track, Name: name, Cat: "mpi",
@@ -142,7 +147,7 @@ func (ps *procState) record(kind trace.EventKind, peer, tag, comm int, size int6
 		return
 	}
 	tl.Add(trace.Event{
-		At: ps.world.eng.Now(), Rank: ps.rank, Kind: kind,
+		At: ps.eng.Now(), Rank: ps.rank, Kind: kind,
 		Peer: peer, Tag: tag, Comm: comm, Size: size,
 	})
 }
@@ -191,7 +196,7 @@ func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
 		// the allocation-free pattern the engine's generation-stamped timers
 		// exist for.
 		if ps.watchdog == nil {
-			ps.watchdog = w.eng.NewTimer(func() {
+			ps.watchdog = ps.eng.NewTimer(func() {
 				ps.wdFired = true
 				ps.progress.Broadcast()
 			})
@@ -202,14 +207,14 @@ func (ps *procState) waitFor(p *sim.Proc, why string, pred func() bool) {
 	}
 	for {
 		ps.poll(p)
-		if w.fault != nil {
+		if w.faulted() {
 			panic(&jobAbort{err: w.fault})
 		}
 		if pred() {
 			return
 		}
 		if ps.wdFired {
-			now := w.eng.Now()
+			now := ps.eng.Now()
 			w.rec.Flight(msgtrace.FlightTimeout, now, ps.rank, 0, msgtrace.StageWait, int64(w.cfg.Timeout), 0)
 			w.rec.Freeze("watchdog timeout: "+why, now, ps.rank, msgtrace.StageWait, 0)
 			w.fail(&TimeoutError{Rank: ps.rank, Op: why, After: w.cfg.Timeout})

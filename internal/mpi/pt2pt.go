@@ -52,7 +52,7 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 		peer:   dst,
 		tag:    tag,
 		size:   buf.Size,
-		born:   ps.world.eng.Now(),
+		born:   ps.eng.Now(),
 	}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
@@ -79,11 +79,11 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 func (ps *procState) shmSend(p *sim.Proc, req *Request, dstPS *procState) {
 	ch := ps.world.shm[ps.node]
 	copyCost := ch.CopyTime(req.size)
-	start := ps.world.eng.Now()
+	start := ps.eng.Now()
 	ps.busy(p, ch.HalfHandshake()+copyCost)
 	ch.CountCopy(req.size, copyCost)
 	if rec := ps.world.rec; rec.Sampled(req.tid) {
-		now := ps.world.eng.Now()
+		now := ps.eng.Now()
 		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, now-copyCost, req.size)
 		rec.Span(req.tid, msgtrace.StageCopy, ps.rank, -1, 0, -1, now-copyCost, now, req.size)
 	}
@@ -106,7 +106,7 @@ func (ps *procState) eagerSend(p *sim.Proc, req *Request, dstPS *procState) {
 		copyCost = ps.ep.CopyTime(req.size)
 		ps.eagerCopies.Inc()
 	}
-	start := ps.world.eng.Now()
+	start := ps.eng.Now()
 	ps.busy(p, sendCost+regCost+copyCost)
 	if rec.Sampled(req.tid) {
 		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, start+sendCost, req.size)
@@ -133,13 +133,13 @@ func (ps *procState) rndvSend(p *sim.Proc, req *Request, dstPS *procState) {
 	rec := ps.world.rec
 	sendCost := ps.ep.IssueStall() + ps.ep.SendOverhead(req.size)
 	regCost := ps.ep.AcquireBuf(req.buf)
-	start := ps.world.eng.Now()
+	start := ps.eng.Now()
 	ps.busy(p, sendCost+regCost)
 	if rec.Sampled(req.tid) {
 		rec.Span(req.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, start+sendCost, req.size)
 		rec.Span(req.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start+sendCost, start+sendCost+regCost, req.size)
 	}
-	req.hsStart = ps.world.eng.Now()
+	req.hsStart = ps.eng.Now()
 	m := &inMsg{comm: req.comm, src: ps.rank, tag: req.tag, size: req.size, seq: req.seq, tid: req.tid, kind: rtsMsg, ch: chNet, sender: req}
 	rec.SetCur(req.tid)
 	ps.ep.Control(dstPS.node, func() { dstPS.arrive(m) })
@@ -153,9 +153,9 @@ func (ps *procState) arrive(m *inMsg) {
 	if nm, ok := ps.ep.(dev.NICMatcher); ok && m.ch == chNet {
 		pending := len(ps.posted) + len(ps.unexp)
 		if rec := ps.world.rec; rec.Sampled(m.tid) {
-			start := ps.world.eng.Now()
+			start := ps.eng.Now()
 			nm.MatchDelay(pending, func() {
-				rec.Span(m.tid, msgtrace.StageMatch, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+				rec.Span(m.tid, msgtrace.StageMatch, ps.rank, -1, 0, -1, start, ps.eng.Now(), m.size)
 				ps.arriveMatched(m)
 			})
 			return
@@ -180,7 +180,7 @@ func (ps *procState) arriveMatched(m *inMsg) {
 	// The receive was posted first and waited for this arrival: the gap is
 	// the receiver's exposed wait (clipped to the message's own interval by
 	// the blame decomposition).
-	ps.world.rec.Span(m.tid, msgtrace.StageWait, ps.rank, -1, 0, -1, r.born, ps.world.eng.Now(), m.size)
+	ps.world.rec.Span(m.tid, msgtrace.StageWait, ps.rank, -1, 0, -1, r.born, ps.eng.Now(), m.size)
 	switch m.kind {
 	case eagerMsg:
 		ps.deliverEager(r, m, false)
@@ -199,9 +199,9 @@ func (ps *procState) deliverEager(r *Request, m *inMsg, inline bool, pOpt ...*si
 	// work charges the completion cost on the rank's process and records the
 	// receive-side span over exactly the charged interval.
 	work := func(p *sim.Proc, cost sim.Time) {
-		start := ps.world.eng.Now()
+		start := ps.eng.Now()
 		ps.busy(p, cost)
-		ps.world.rec.Span(m.tid, msgtrace.StageDeliver, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+		ps.world.rec.Span(m.tid, msgtrace.StageDeliver, ps.rank, -1, 0, -1, start, ps.eng.Now(), m.size)
 		finish()
 	}
 	switch {
@@ -248,9 +248,9 @@ func (ps *procState) acceptRndv(r *Request, m *inMsg, inline bool, pOpt ...*sim.
 	// prep registers the receive buffer and parses the RTS on the host,
 	// recording the acquire as the receiver's registration span.
 	prep := func(p *sim.Proc) {
-		start := ps.world.eng.Now()
+		start := ps.eng.Now()
 		ps.busy(p, rndvStep+ps.ep.AcquireBuf(r.buf))
-		rec.Span(m.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+		rec.Span(m.tid, msgtrace.StageRegister, ps.rank, -1, 0, -1, start, ps.eng.Now(), m.size)
 	}
 	switch {
 	case ps.ep.NICProgress():
@@ -273,19 +273,31 @@ func (ps *procState) arriveCTS(m *inMsg, dstPS *procState, r *Request) {
 	rec := ps.world.rec
 	// The RTS->CTS round trip the sender just completed is the rendezvous
 	// handshake: it started when the RTS left (hsStart) and ends now.
-	rec.Span(m.tid, msgtrace.StageHandshake, ps.rank, -1, 0, -1, m.sender.hsStart, ps.world.eng.Now(), m.size)
+	rec.Span(m.tid, msgtrace.StageHandshake, ps.rank, -1, 0, -1, m.sender.hsStart, ps.eng.Now(), m.size)
 	startBulk := func() {
 		rec.SetCur(m.tid)
 		ps.ep.Bulk(dstPS.node, m.size, func() {
-			// Payload is in the receiver's user buffer.
-			m.sender.completeSend()
+			// Payload is in the receiver's user buffer. The bulk completion
+			// runs on the receiver's domain; the sender-side FIN must land on
+			// the sender's own engine. The hop is taken whenever the nodes
+			// differ — not only when the engines do — so its extra latency is
+			// identical at every shard count, and it carries the receiver
+			// node's deterministic skew like every other cross-domain event.
+			w := ps.world
+			if w.scale && dstPS.node != ps.node {
+				dstPS.eng.ScheduleOn(ps.eng, w.finLat+w.skew(dstPS.node), func() {
+					m.sender.completeSend()
+				})
+			} else {
+				m.sender.completeSend()
+			}
 			if dstPS.ep.NICProgress() {
 				r.complete(m.src, m.tag, m.size)
 			} else {
 				dstPS.enqueue(func(p *sim.Proc) {
-					start := dstPS.world.eng.Now()
+					start := dstPS.eng.Now()
 					dstPS.busy(p, dstPS.ep.RecvOverhead(m.size))
-					rec.Span(m.tid, msgtrace.StageDeliver, dstPS.rank, -1, 0, -1, start, dstPS.world.eng.Now(), m.size)
+					rec.Span(m.tid, msgtrace.StageDeliver, dstPS.rank, -1, 0, -1, start, dstPS.eng.Now(), m.size)
 					r.complete(m.src, m.tag, m.size)
 				})
 			}
@@ -297,9 +309,9 @@ func (ps *procState) arriveCTS(m *inMsg, dstPS *procState, r *Request) {
 		return
 	}
 	ps.enqueue(func(p *sim.Proc) {
-		start := ps.world.eng.Now()
+		start := ps.eng.Now()
 		ps.busy(p, rndvStep)
-		rec.Span(m.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, ps.world.eng.Now(), m.size)
+		rec.Span(m.tid, msgtrace.StageSend, ps.rank, -1, 0, -1, start, ps.eng.Now(), m.size)
 		startBulk()
 	})
 }
@@ -327,7 +339,7 @@ func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, 
 		src:  src,
 		tag:  tag,
 		size: buf.Size,
-		born: ps.world.eng.Now(),
+		born: ps.eng.Now(),
 	}
 	ps.record(trace.EvRecvPost, src, tag, comm, buf.Size)
 	if m := ps.matchUnexpected(comm, src, tag); m != nil {

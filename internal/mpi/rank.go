@@ -66,7 +66,7 @@ func (r *Rank) Ssend(buf memreg.Buf, dst, tag int) {
 	if !ps.quiet {
 		ps.prof.Send(buf, dstPS.node == ps.node, false)
 	}
-	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.world.eng.Now()}
+	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.eng.Now()}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
 	req.tid = msgtrace.MakeID(ps.rank, req.seq)

@@ -56,7 +56,7 @@ func (r *Request) complete(src, tag int, size int64) {
 	r.status = Status{Source: src, Tag: tag, Size: size}
 	r.ps.removePosted(r)
 	if r.matched != nil {
-		r.ps.world.rec.Finish(r.matched.tid, r.ps.world.eng.Now())
+		r.ps.world.rec.Finish(r.matched.tid, r.ps.eng.Now())
 	}
 	r.ps.record(trace.EvRecvDone, src, tag, r.comm, size)
 	r.ps.finishReq(r, "recv")

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"mpinet/internal/dev"
 	"mpinet/internal/faults"
@@ -120,10 +122,30 @@ type World struct {
 	end   sim.Time
 	// fault is the first fatal job error (device retry exhaustion, watchdog
 	// timeout, truncation); once set, every rank aborts at its next
-	// progress point and Run returns it.
-	fault error
+	// progress point and Run returns it. In scale mode it may be written
+	// from any shard's goroutine, so writes go through faultMu and readers
+	// check faultSet first (the atomic store/load pair orders the error
+	// value behind the flag).
+	fault    error
+	faultMu  sync.Mutex
+	faultSet atomic.Bool
 
-	// Communicator-context bookkeeping (see comm.go).
+	// scale is true when the network's node-domain placement is active:
+	// each rank's protocol state lives on its node's engine, cross-rank
+	// completions hop between engines with a deterministic per-source skew,
+	// and shared maps are mutex-guarded. Activated in NewWorld only for
+	// domain-clean configurations, so every other world keeps the classic
+	// single-engine semantics byte-for-byte.
+	scale   bool
+	domains *dev.Domains
+	// finLat is the cross-domain completion-hop latency (the network's
+	// minimum link latency, which is also the shard group's lookahead).
+	finLat sim.Time
+
+	// Communicator-context bookkeeping (see comm.go). commMu guards the
+	// maps in scale mode, where ranks on different shards agree on
+	// contexts concurrently.
+	commMu      sync.Mutex
 	commIDs     map[string]int
 	nextComm    int
 	splitBoards map[[2]int]map[int][2]int
@@ -133,6 +155,14 @@ type World struct {
 // descriptive error (see Config.Validate) is returned instead of the
 // panic-later behaviour an invalid Net/Procs combination used to produce.
 func NewWorld(cfg Config) (*World, error) {
+	// A network built from an invalid platform configuration carries its
+	// constructor's error (the builder chain cannot return one); surface it
+	// here, before Validate trips over the stub's zero node count.
+	if ce, ok := cfg.Net.(dev.ConfigErrer); ok && cfg.Net != nil {
+		if err := ce.ConfigErr(); err != nil {
+			return nil, err
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,6 +182,21 @@ func NewWorld(cfg Config) (*World, error) {
 		commIDs:     make(map[string]int),
 		splitBoards: make(map[[2]int]map[int][2]int),
 	}
+	// Scale (node-domain) mode: only for domain-capable networks under a
+	// domain-clean configuration — no timeline, metrics or span tracing,
+	// whose recorders and registries are not safe to mutate from parallel
+	// shards. The device may still refuse (fault plan, hardware multicast);
+	// then the world keeps classic semantics.
+	if dn, ok := cfg.Net.(dev.DomainNetwork); ok &&
+		cfg.Timeline == nil && cfg.Metrics == nil && cfg.MsgTrace == nil {
+		if lr, ok := cfg.Net.(dev.LookaheadReporter); ok && lr.MinLinkLatency() > 0 {
+			if dn.ActivateDomains() {
+				w.scale = true
+				w.domains = dn.Domains()
+				w.finLat = lr.MinLinkLatency()
+			}
+		}
+	}
 	// Wire the hardware layers before any endpoint exists, so endpoints
 	// created below find the registry and bind their counters.
 	if w.met != nil {
@@ -160,15 +205,20 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		w.eng.Instrument(w.met)
 	}
-	// Every world owns a recorder: the configured one (span tracing on) or a
-	// disabled one whose always-on flight ring still captures incidents for
-	// the failure postmortem. The device layers read trace context from it.
-	w.rec = cfg.MsgTrace
-	if w.rec == nil {
-		w.rec = msgtrace.Disabled()
-	}
-	if ta, ok := cfg.Net.(dev.TraceAttacher); ok {
-		ta.AttachTracer(w.rec)
+	// Every classic world owns a recorder: the configured one (span tracing
+	// on) or a disabled one whose always-on flight ring still captures
+	// incidents for the failure postmortem. A scale-mode world runs with a
+	// nil recorder instead — even the disabled recorder's trace-context slot
+	// is mutable state the parallel shards would race on — and every
+	// recorder method is a nil-safe no-op.
+	if !w.scale {
+		w.rec = cfg.MsgTrace
+		if w.rec == nil {
+			w.rec = msgtrace.Disabled()
+		}
+		if ta, ok := cfg.Net.(dev.TraceAttacher); ok {
+			ta.AttachTracer(w.rec)
+		}
 	}
 	type shmemConfigurer interface{ ShmemConfig() shmem.Config }
 	shmCfg := shmem.DefaultConfig()
@@ -178,12 +228,13 @@ func NewWorld(cfg Config) (*World, error) {
 	for r := 0; r < cfg.Procs; r++ {
 		node := w.nodeOf(r)
 		if _, ok := w.shm[node]; !ok {
-			ch := shmem.New(w.eng, shmCfg)
+			ch := shmem.New(w.engFor(node), shmCfg)
 			ch.Instrument(w.met, node)
 			w.shm[node] = ch
 		}
 		ps := &procState{
 			world:    w,
+			eng:      w.engFor(node),
 			rank:     r,
 			node:     node,
 			ep:       cfg.Net.NewEndpoint(node),
@@ -228,20 +279,56 @@ func MustWorld(cfg Config) *World {
 
 // fail records the job's first fatal error and wakes every rank so each
 // aborts at its next progress point. Safe to call from device completion
-// events or from rank processes.
+// events or from rank processes; in scale mode, from any shard's goroutine.
 func (w *World) fail(err error) {
+	w.faultMu.Lock()
 	if w.fault == nil {
 		w.fault = err
-		// Fallback freeze for failure paths that did not freeze with more
-		// specific blame (truncation, direct aborts); the first freeze wins,
-		// so this is a no-op after a watchdog or device-fault freeze.
-		now := w.eng.Now()
-		w.rec.Flight(msgtrace.FlightAbort, now, -1, 0, 0, 0, 0)
-		w.rec.Freeze("job abort: "+err.Error(), now, -1, msgtrace.NumStages, 0)
+		w.faultSet.Store(true)
+		if !w.scale {
+			// Fallback freeze for failure paths that did not freeze with more
+			// specific blame (truncation, direct aborts); the first freeze
+			// wins, so this is a no-op after a watchdog or device-fault freeze.
+			now := w.eng.Now()
+			w.rec.Flight(msgtrace.FlightAbort, now, -1, 0, 0, 0, 0)
+			w.rec.Freeze("job abort: "+err.Error(), now, -1, msgtrace.NumStages, 0)
+		}
+	}
+	w.faultMu.Unlock()
+	if w.scale {
+		// Cross-shard wakes would touch other engines' queues mid-window.
+		// Ranks observe faultSet at their next progress point; ranks parked
+		// with nothing left in flight quiesce, ending the group run, and Run
+		// still returns the fault.
+		return
 	}
 	for _, ps := range w.procs {
 		ps.progress.Broadcast()
 	}
+}
+
+// faulted reports whether a job fault has been recorded; safe from any
+// shard. Reading w.fault after a true result is ordered by the atomic pair.
+func (w *World) faulted() bool { return w.faultSet.Load() }
+
+// engFor returns the engine owning a node's domain: the node's shard engine
+// in scale mode, the world engine otherwise.
+func (w *World) engFor(node int) *sim.Engine {
+	if w.domains == nil {
+		return w.eng
+	}
+	return w.domains.EngineFor(node)
+}
+
+// skew is the deterministic per-source tie-breaker added to cross-domain
+// completion hops, matching the device models' convention (node index + 1
+// picoseconds): it makes event order at the destination independent of the
+// shard count without measurably perturbing the modelled latency.
+func (w *World) skew(node int) sim.Time {
+	if !w.scale {
+		return 0
+	}
+	return sim.Time(node + 1)
 }
 
 // nodeOf maps a rank to its node under the configured mapping.
@@ -255,8 +342,15 @@ func (w *World) nodeOf(rank int) int {
 	}
 }
 
-// Engine returns the simulation engine.
+// Engine returns the simulation engine (shard 0's when node domains are
+// active).
 func (w *World) Engine() *sim.Engine { return w.eng }
+
+// ScaleMode reports whether the world activated the network's node-domain
+// placement: rank state distributed over the shard group's engines, with
+// deterministic cross-domain completion hops. False for every world on a
+// classic network or with a domain-unclean configuration.
+func (w *World) ScaleMode() bool { return w.scale }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.cfg.Procs }
@@ -281,7 +375,7 @@ func (w *World) Run(main func(r *Rank)) (err error) {
 		// keeps panicking.
 		if pf, ok := r.(*sim.ProcFailure); ok {
 			if ja, ok := pf.Value.(*jobAbort); ok {
-				w.end = w.eng.Now()
+				w.end = w.eng.MaxNow()
 				err = ja.err
 				return
 			}
@@ -291,7 +385,9 @@ func (w *World) Run(main func(r *Rank)) (err error) {
 	w.start = w.eng.Now()
 	for _, ps := range w.procs {
 		ps := ps
-		proc := w.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
+		// Each rank's process runs on its node's engine; on a classic world
+		// that is the single world engine for every rank.
+		proc := ps.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
 			main(&Rank{p: p, ps: ps})
 		})
 		if w.met != nil {
@@ -301,10 +397,14 @@ func (w *World) Run(main func(r *Rank)) (err error) {
 		}
 	}
 	runErr := w.eng.Run()
-	w.end = w.eng.Now()
-	if w.fault != nil {
+	// End-of-run clock: the latest shard clock, which for a plain engine is
+	// just its Now.
+	w.end = w.eng.MaxNow()
+	if w.faulted() {
 		// A fault was recorded but every rank happened to finish (or the
-		// queue drained first): the job still failed.
+		// queue drained first): the job still failed. A scale-mode fault
+		// surfaces here even when the group run ended in a deadlock report —
+		// the fault is the cause, the quiescence only the symptom.
 		return w.fault
 	}
 	return runErr
@@ -353,7 +453,9 @@ func (w *World) WriteChromeTrace(out io.Writer) error {
 
 // MsgTrace returns the world's message-trace recorder: the one configured
 // via Config.MsgTrace, or the default disabled recorder whose always-on
-// flight ring still captured recent incidents. Never nil.
+// flight ring still captured recent incidents. Nil only for a scale-mode
+// world (node domains active), which runs without a recorder; every
+// recorder method is a nil-safe no-op, so callers need not check.
 func (w *World) MsgTrace() *msgtrace.Recorder { return w.rec }
 
 // FlightDump writes the flight-recorder postmortem: the ring frozen at the

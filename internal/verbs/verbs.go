@@ -61,6 +61,17 @@ type Config struct {
 	// extension for clusters larger than one switch.
 	FatTree *fabric.FatTreeConfig
 
+	// Clos, when non-nil, replaces the single crossbar with a parameterized
+	// multi-stage Clos fabric (the redesigned topology API); it wins over
+	// FatTree. LinkRate/Crossing/WireLatency zero-values are filled with the
+	// InfiniBand calibration.
+	Clos *fabric.ClosConfig
+
+	// Domains, when non-nil, is the node-domain placement capability: the
+	// network can run each node's device state on its own engine once
+	// ActivateDomains is called (see dev.DomainNetwork).
+	Domains *dev.Domains
+
 	// Faults, when non-nil, injects the plan's link/NIC/bus faults and
 	// enables the RC retransmit machinery below.
 	Faults *faults.Plan
@@ -135,6 +146,17 @@ type Network struct {
 	met   *metrics.Registry
 	inj   *faults.Injector
 	rec   *msgtrace.Recorder
+
+	// dynamic marks adaptive routing: paths are chosen per message and
+	// must not be cached.
+	dynamic bool
+	// scale flips on domain mode: per-node engines, split transfers, and
+	// the per-source picosecond skew that keeps sharded commit order equal
+	// to serial dispatch order.
+	scale bool
+	// cfgErr carries a topology-validation failure to mpi.NewWorld
+	// (dev.ConfigErrer); construction itself cannot return an error.
+	cfgErr error
 }
 
 type nodeHW struct {
@@ -153,7 +175,25 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg.SwitchPorts = 8
 	}
 	n := &Network{eng: eng, cfg: cfg, inj: faults.NewInjector(cfg.Faults)}
-	if cfg.FatTree != nil {
+	if cfg.Clos != nil {
+		cc := *cfg.Clos
+		if cc.LinkRate == 0 {
+			cc.LinkRate = units.BytesPerSecond(linkRateBps)
+		}
+		if cc.Crossing == 0 {
+			cc.Crossing = switchCrossing
+		}
+		if cc.WireLatency == 0 {
+			cc.WireLatency = wireLatency
+		}
+		topo, err := fabric.NewClos("ib-clos", cc, cfg.Nodes)
+		if err != nil {
+			n.cfgErr = fmt.Errorf("verbs: %w", err)
+		} else {
+			n.topo = topo
+			n.dynamic = cc.Routing == fabric.Adaptive
+		}
+	} else if cfg.FatTree != nil {
 		ft := *cfg.FatTree
 		if ft.LinkRate == 0 {
 			ft.LinkRate = units.BytesPerSecond(linkRateBps)
@@ -218,6 +258,47 @@ func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
 
 // AttachTracer implements dev.TraceAttacher.
 func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
+
+// ConfigErr implements dev.ConfigErrer.
+func (n *Network) ConfigErr() error { return n.cfgErr }
+
+// Domains implements dev.DomainNetwork.
+func (n *Network) Domains() *dev.Domains { return n.cfg.Domains }
+
+// ActivateDomains implements dev.DomainNetwork: flips the network into
+// domain (scale) mode. Hardware multicast fans out across every node from
+// one event and a fault plan retransmits on verdicts read at delivery time —
+// both are single-domain mechanisms, so either refuses activation.
+func (n *Network) ActivateDomains() bool {
+	if n.cfg.Domains == nil || n.cfg.HWMulticast || n.inj != nil {
+		return false
+	}
+	n.scale = true
+	return true
+}
+
+// engineFor returns the engine owning a node's device state: the shared
+// engine in classic mode, the node's domain engine in scale mode.
+func (n *Network) engineFor(node int) *sim.Engine {
+	if !n.scale {
+		return n.eng
+	}
+	return n.cfg.Domains.EngineFor(node)
+}
+
+// skew is the deterministic per-source-node latency perturbation of domain
+// mode: one picosecond times (node+1), added to every cross-node hop. It
+// breaks the systematic same-instant ties lockstep SPMD programs generate
+// (identical compute constants on every rank), so cross-shard commit order
+// — sorted (time, source shard, sequence) — agrees with serial dispatch
+// order at every collision point. At 4096 nodes the perturbation tops out
+// near 4 ns, well under any modelled wire latency.
+func (n *Network) skew(node int) sim.Time {
+	if !n.scale {
+		return 0
+	}
+	return sim.Time(node + 1)
+}
 
 // ShmemConfig returns the intra-node channel parameters for MVAPICH.
 func (n *Network) ShmemConfig() shmem.Config {
@@ -305,11 +386,20 @@ type endpoint struct {
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 
-	// paths caches the assembled hardware path per destination: routing is
-	// static (deterministic ECMP), so the stage list for a (src, dst) pair
-	// never changes and rebuilding it per message only feeds the allocator.
-	paths [][]fabric.PathStage
+	// paths caches the assembled hardware path per destination under
+	// deterministic routing: the stage list for a (src, dst) pair never
+	// changes, so rebuilding it per message would only feed the allocator.
+	// Small worlds use the dense slice (hot-path index, zero-alloc gated);
+	// large worlds fill pathMap lazily so a 4k-node world costs each
+	// endpoint only the peers it actually speaks to, not O(N) slots.
+	// Adaptive routing bypasses both — the up-link choice is per message.
+	paths   [][]fabric.PathStage
+	pathMap map[int][]fabric.PathStage
 }
+
+// densePathNodes is the world size up to which per-destination path caches
+// stay dense arrays; above it they switch to lazy maps.
+const densePathNodes = 128
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -404,16 +494,31 @@ func (ep *endpoint) pioPenalty() sim.Time {
 }
 
 // path returns the staged hardware path to dst, assembled once per
-// destination and cached.
+// destination and cached — except under adaptive routing, where the fabric
+// picks the up-link per message and the path must be rebuilt.
 func (ep *endpoint) path(dst int) []fabric.PathStage {
-	if ep.paths == nil {
-		ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst)
 	}
-	if p := ep.paths[dst]; p != nil {
+	if len(ep.net.nodes) <= densePathNodes {
+		if ep.paths == nil {
+			ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
+		}
+		if p := ep.paths[dst]; p != nil {
+			return p
+		}
+		p := ep.buildPath(dst)
+		ep.paths[dst] = p
 		return p
 	}
+	if p, ok := ep.pathMap[dst]; ok {
+		return p
+	}
+	if ep.pathMap == nil {
+		ep.pathMap = make(map[int][]fabric.PathStage)
+	}
 	p := ep.buildPath(dst)
-	ep.paths[dst] = p
+	ep.pathMap[dst] = p
 	return p
 }
 
@@ -437,7 +542,7 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	stages := []fabric.PathStage{
 		{Stage: src.bus, Latency: ep.pioPenalty()},
 		{Stage: src.hcaTx, Latency: hcaSetup},
-		{Stage: src.link.Up(), Latency: wireLatency},
+		{Stage: src.link.Up(), Latency: wireLatency + ep.net.skew(ep.node)},
 	}
 	stages = append(stages, between...)
 	return append(stages,
@@ -447,7 +552,24 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	)
 }
 
+// srcStages is the count of source-side stages of a cross-node path —
+// bus, HCA TX and link up, plus whatever the topology keeps on the source
+// leaf. TransferCut runs them on the source's domain engine.
+func (ep *endpoint) srcStages(dst int) int {
+	return 3 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+}
+
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
+	if ep.net.scale {
+		// Domain mode: the attempt is fault-free by construction (activation
+		// refuses fault plans) and untraced; the staged path is split at the
+		// wire so each node's hardware state stays on its own engine.
+		eng := ep.net.engineFor(ep.node)
+		start := eng.Now() + ep.connect(dst)
+		fabric.TransferCut(eng, ep.net.engineFor(dst), ep.path(dst), ep.srcStages(dst),
+			size, fabric.ChunkFor(size), start, func(sim.Time) { deliver() })
+		return
+	}
 	eng := ep.net.eng
 	rec := ep.net.rec
 	// Capture trace context synchronously at issue time: the MPI layer (or

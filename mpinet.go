@@ -68,6 +68,7 @@ import (
 	"mpinet/internal/apps"
 
 	"mpinet/internal/cluster"
+	"mpinet/internal/fabric"
 	"mpinet/internal/faults"
 	"mpinet/internal/memreg"
 	"mpinet/internal/metrics"
@@ -144,6 +145,12 @@ type (
 	// RailDegrade is a FaultPlan entry black- or brown-outing one rail of a
 	// bonded platform for a window.
 	RailDegrade = faults.RailDegrade
+	// Routing selects a multi-stage fabric's path policy (Deterministic or
+	// Adaptive) for WithRouting.
+	Routing = fabric.Routing
+	// ConfigError names an invalid platform option combination (bad
+	// radix/oversubscription, for instance); NewWorld returns it.
+	ConfigError = cluster.ConfigError
 )
 
 // Bond policies and time units for fault-plan and bond tuning fields.
@@ -152,6 +159,13 @@ const (
 	Failover = rail.Failover
 	// Stripe splits large messages across all healthy rails.
 	Stripe = rail.Stripe
+
+	// Deterministic is ECMP-by-destination routing: a (src, dst) pair always
+	// takes the same fabric path.
+	Deterministic = fabric.Deterministic
+	// Adaptive is dispersive routing: each message takes its source leaf's
+	// least-loaded up-link, seeded ties making replay deterministic.
+	Adaptive = fabric.Adaptive
 
 	// Microsecond is one simulated microsecond.
 	Microsecond = units.Microsecond
@@ -198,8 +212,31 @@ func OnDemand() Option { return cluster.OnDemand() }
 // Multicast enables hardware-multicast collectives (Section 3.7).
 func Multicast() Option { return cluster.Multicast() }
 
-// FatTree builds a two-level fat tree sized from the node count.
-func FatTree() Option { return cluster.FatTree() }
+// AutoFatTree builds the legacy two-level fat tree sized from the node
+// count (InfiniBand only).
+//
+// Deprecated: use FatTree(24, 2), the parameterized topology API.
+func AutoFatTree() Option { return cluster.AutoFatTree() }
+
+// Crossbar pins the platform to a single-crossbar fabric whose radix grows
+// with the node count (the topology API's explicit default).
+func Crossbar() Option { return cluster.Crossbar() }
+
+// FatTree builds a two-level folded-Clos (leaf/spine) fabric from
+// radix-port switching elements at the given oversubscription ratio;
+// FatTree(24, 2) is the classic 16-host/8-uplink leaf. Works on all three
+// interconnects; invalid dimension combinations surface from NewWorld as a
+// descriptive error.
+func FatTree(radix, oversub int) Option { return cluster.FatTree(radix, oversub) }
+
+// Clos builds a multi-level folded-Clos fabric — levels switching levels of
+// radix-port elements at the given leaf oversubscription — for worlds that
+// outgrow one spine tier (thousands of ranks).
+func Clos(levels, radix, oversub int) Option { return cluster.Clos(levels, radix, oversub) }
+
+// WithRouting selects a multi-stage fabric's path policy: Deterministic
+// ECMP or Adaptive dispersive routing (seeded via WithSeed).
+func WithRouting(r Routing) Option { return cluster.WithRouting(r) }
 
 // EagerThreshold overrides the eager/rendezvous switch point.
 func EagerThreshold(t int64) Option { return cluster.EagerThreshold(t) }

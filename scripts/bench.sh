@@ -17,7 +17,9 @@
 #       transfer-chunk micro-benchmarks and the conservative-PDES
 #       shard-scaling sweep (BenchmarkShardScaling: events/sec at
 #       1/2/4/8 shards; the 4-shard speedup is null with a reason on
-#       hosts under 4 CPUs), and emit BENCH_engine.json with
+#       hosts under 4 CPUs) plus the 1024-rank Clos scale-out record
+#       (BenchmarkScaleWorld: events/sec and bytes/rank per
+#       interconnect), and emit BENCH_engine.json with
 #       events/sec and allocs/op. The committed copy is the baseline CI's
 #       perf-smoke job diffs against (warn at >10% regression). The
 #       before/after block records the full-suite measurement taken at the
@@ -75,6 +77,9 @@ if [ -n "$engine" ]; then
     echo "== shard scaling: conservative PDES events/sec at 1/2/4/8 shards ==" >&2
     go test -run '^$' -bench 'BenchmarkShardScaling$' -benchtime 3x \
         ./internal/sim/ >"$tmp/shard.txt"
+    echo "== scale-out: 1024-rank Clos worlds (events/sec, bytes/rank) ==" >&2
+    go test -run '^$' -bench 'BenchmarkScaleWorld$' -benchtime 3x \
+        ./internal/experiments/ >"$tmp/scale.txt"
 
     # metric FILE BENCH UNIT: the value reported with UNIT on BENCH's line.
     metric() {
@@ -96,6 +101,9 @@ if [ -n "$engine" ]; then
         shard_speedup=$(awk "BEGIN { printf \"%.3f\", $(shard_ev 4) / $(shard_ev 1) }")
         shard_note=""
     fi
+
+    # scale_m NET UNIT: a BenchmarkScaleWorld sub-benchmark's metric.
+    scale_m() { metric "$tmp/scale.txt" "BenchmarkScaleWorld/$1" "$2"; }
 
     micro() { # NAME FILE BENCH -> one JSON object line
         printf '    "%s": {"ns_per_op": %s, "allocs_per_op": %s}' \
@@ -120,6 +128,14 @@ if [ -n "$engine" ]; then
             "$(shard_ev 1)" "$(shard_ev 2)" "$(shard_ev 4)" "$(shard_ev 8)"
         printf '    "speedup_4shard": %s,\n' "$shard_speedup"
         printf '    "speedup_4shard_note": "%s"\n' "$shard_note"
+        printf '  },\n'
+        printf '  "scale_1k": {\n'
+        printf '    "bench": "BenchmarkScaleWorld",\n'
+        printf '    "workload": "1024 ranks on a 3-level radix-24 2:1 Clos, neighbor exchange + allreduce",\n'
+        printf '    "events_per_sec": {"IBA": %s, "Myri": %s, "QSN": %s},\n' \
+            "$(scale_m IBA events/s)" "$(scale_m Myri events/s)" "$(scale_m QSN events/s)"
+        printf '    "bytes_per_rank": {"IBA": %s, "Myri": %s, "QSN": %s}\n' \
+            "$(scale_m IBA bytes/rank)" "$(scale_m Myri bytes/rank)" "$(scale_m QSN bytes/rank)"
         printf '  },\n'
         printf '  "overhaul_reference": {\n'
         printf '    "note": "full suite (-j 1), both binaries interleaved on the same single-CPU host at the overhaul commit; see docs/MODEL.md \\u00a715",\n'
