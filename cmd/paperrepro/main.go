@@ -9,6 +9,7 @@
 //	paperrepro -postmortem [-obsnet IBA|Myri|QSN] [-droprate P] [-seed N]
 //	paperrepro -faults [-droprate P] [-seed N] [-faultnet IBA|Myri|QSN]
 //	paperrepro -railfail [-railpair IBA+Myri] [-railpolicy failover|stripe] [-seed N]
+//	paperrepro -chaos [-faultnet IBA|Myri|QSN] [-routing deterministic|adaptive] [-seed N]
 //
 // With -o - the document goes to stdout. A full (class B) run simulates
 // several hundred cluster executions and takes a few minutes of wall-clock
@@ -50,6 +51,13 @@
 // primary rail killed at 50% of the healthy elapsed (must complete via
 // failover), and once on the solo primary under the same plan (must fail
 // with a typed error). See docs/MODEL.md §13.
+//
+// The fifth form runs the chaos soak: the kill-storm matrix on a 64-node
+// 3-level Clos — a spine plane killed and repaired, a multi-element storm,
+// a host crash with and without ULFM-style fault tolerance, and a full
+// partition — verifying each scenario completes or fails with a typed
+// error, never hangs. -faultnet empty runs all three interconnects;
+// -routing picks the fabric's path policy. See docs/MODEL.md §19.
 package main
 
 import (
@@ -88,6 +96,8 @@ func main() {
 	dropRate := flag.Float64("droprate", 0.01, "per-packet drop probability for -faults (0 = healthy control)")
 	seed := flag.Uint64("seed", 0, "fault-plan seed for -faults (0 = the committed experiment seed)")
 	faultNet := flag.String("faultnet", "", "interconnect for -faults (IBA, Myri or QSN; empty = all three)")
+	chaosRun := flag.Bool("chaos", false, "run the chaos soak (kill storms on a 3-level Clos: spine death, host crash, partition) and exit")
+	routing := flag.String("routing", "deterministic", "fabric routing policy for -chaos (deterministic or adaptive)")
 	railRun := flag.Bool("railfail", false, "run the rail-failover smoke (LU class S on a bonded pair, primary killed mid-run) and exit")
 	railPair := flag.String("railpair", "IBA+Myri", "bonded pair for -railfail (2-3 of IBA, Myri, QSN joined by +)")
 	railPolicy := flag.String("railpolicy", "failover", "bond policy for -railfail (failover or stripe)")
@@ -103,6 +113,7 @@ func main() {
 			postmortem: *postmortem, faultsRun: *faultsRun, dropRate: *dropRate,
 			seed: *seed, faultNet: *faultNet, railRun: *railRun,
 			railPair: *railPair, railPolicy: *railPolicy,
+			chaosRun: *chaosRun, routing: *routing,
 		})
 	}))
 }
@@ -127,9 +138,25 @@ type runOpts struct {
 	railRun    bool
 	railPair   string
 	railPolicy string
+	chaosRun   bool
+	routing    string
 }
 
 func run(o runOpts) int {
+	if o.chaosRun {
+		nets := []string{"IBA", "Myri", "QSN"}
+		if o.faultNet != "" {
+			nets = []string{o.faultNet}
+		}
+		for _, net := range nets {
+			if err := experiments.ChaosSoak(os.Stdout, net, o.routing, o.seed, o.shards); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	if o.railRun {
 		if err := experiments.RailFailSmoke(os.Stdout, o.railPair, o.railPolicy, o.seed, o.shards); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)

@@ -322,6 +322,7 @@ type WorldSetter interface {
 	SetTimeline(*trace.Timeline)
 	SetMetrics(*metrics.Registry)
 	SetTimeout(sim.Time)
+	SetFaultTolerant(bool)
 }
 
 // Option is one functional option. A single option may act on the platform
@@ -437,6 +438,68 @@ func SwitchPorts(ports int) Option {
 // a faulty run terminates with a typed error instead of hanging.
 func WithFaults(plan *faults.Plan) Option {
 	return Option{platform: func(s *Settings) { s.Faults = plan }}
+}
+
+// clonePlan returns a shallow copy of the plan (a fresh empty plan when
+// nil), so the chaining fault options below never mutate a caller-owned
+// value shared across platform variants.
+func clonePlan(p *faults.Plan) *faults.Plan {
+	if p == nil {
+		return &faults.Plan{}
+	}
+	cp := *p
+	return &cp
+}
+
+// WithSwitchKills adds switching-element deaths to the platform's fault
+// plan (creating one if WithFaults was not given), arming the fabric's
+// self-healing path: after the plan's detection delay, deterministic ECMP
+// re-hashes around the dead element and adaptive routing stops scanning it.
+func WithSwitchKills(kills ...faults.SwitchKill) Option {
+	return Option{platform: func(s *Settings) {
+		p := clonePlan(s.Faults)
+		p.SwitchKills = append(append([]faults.SwitchKill(nil), p.SwitchKills...), kills...)
+		s.Faults = p
+	}}
+}
+
+// WithLinecardDegrades adds partial switching-element degradations (a drop
+// probability on one element's ports over a window) to the fault plan.
+func WithLinecardDegrades(degrades ...faults.LinecardDegrade) Option {
+	return Option{platform: func(s *Settings) {
+		p := clonePlan(s.Faults)
+		p.LinecardDegrades = append(append([]faults.LinecardDegrade(nil), p.LinecardDegrades...), degrades...)
+		s.Faults = p
+	}}
+}
+
+// WithNodeCrashes adds host deaths to the fault plan: the node's links
+// black-hole from the crash instant, and the MPI ranks on it die — see
+// mpi.Config.FaultTolerant (WithFaultTolerant) for how the survivors learn.
+func WithNodeCrashes(crashes ...faults.NodeCrash) Option {
+	return Option{platform: func(s *Settings) {
+		p := clonePlan(s.Faults)
+		p.NodeCrashes = append(append([]faults.NodeCrash(nil), p.NodeCrashes...), crashes...)
+		s.Faults = p
+	}}
+}
+
+// WithDetectDelay sets how long the fabric takes to notice a dead element
+// or host (the black-hole window during which device retries carry the
+// traffic); 0 keeps faults.DefaultDetectDelay.
+func WithDetectDelay(d sim.Time) Option {
+	return Option{platform: func(s *Settings) {
+		p := clonePlan(s.Faults)
+		p.DetectDelay = d
+		s.Faults = p
+	}}
+}
+
+// WithFaultTolerant arms ULFM-style rank-death notification in the MPI
+// world: pending point-to-point operations on a crashed peer complete with
+// Status.Err set instead of aborting the job.
+func WithFaultTolerant() Option {
+	return Option{world: func(c WorldSetter) { c.SetFaultTolerant(true) }}
 }
 
 // WithSeed overrides the fault plan's seed and drives the adaptive-routing

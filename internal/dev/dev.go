@@ -190,6 +190,22 @@ type RetryReporter interface {
 	OnRetry(observe func())
 }
 
+// DiameterReporter is implemented by networks that can state their fabric's
+// diameter — the element count of the longest route. The MPI layer folds it
+// into the scaled watchdog budget (faults.ScaledTimeout): a deep Clos under
+// faults needs more slack per wait than the paper's single crossbar.
+type DiameterReporter interface {
+	Diameter() int
+}
+
+// ElementHealth is implemented by networks whose fabric can suffer element
+// deaths (switch kills). DeadElement names the element currently down, for
+// incident attribution: the rail layer asks it when a rail goes dead so the
+// flight recorder can blame the switch rather than just the rail.
+type ElementHealth interface {
+	DeadElement(now sim.Time) (name string, code int64, ok bool)
+}
+
 // TraceAttacher is implemented by networks that can carry per-message
 // trace context (see internal/msgtrace). The MPI world attaches its
 // recorder at wiring time; device models then read the current message's

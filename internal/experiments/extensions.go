@@ -162,5 +162,6 @@ func (r *Runner) RunExtensions(w io.Writer) {
 		figTask("Ext G2", r.ExtRailBandwidth),
 		figTask("Ext H", r.ExtScaleMemory),
 		figTask("Ext I", r.ExtIncast),
+		figTask("Ext J", r.ExtSpineFailures),
 	})
 }

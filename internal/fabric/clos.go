@@ -123,6 +123,10 @@ type Clos struct {
 	// adaptive-routing state, all leaf-local: one dispersion counter per
 	// leaf, consumed with the config seed by a counter PRNG.
 	counter []uint64
+	// health, when non-nil, arms failure-domain rendering (health.go):
+	// Between routes around detected element deaths and annotates each route
+	// with its fate.
+	health *elementHealth
 }
 
 // NewClos wires a Clos fabric with capacity for at least nodes hosts. The
@@ -225,6 +229,9 @@ func (t *Clos) pickUplink(sl, dl, dst int) int {
 // the upper levels, and the destination leaf's matching down-link.
 func (t *Clos) Between(src, dst int) ([]PathStage, sim.Time) {
 	sl, dl := t.LeafOf(src), t.LeafOf(dst)
+	if t.health != nil {
+		return t.betweenFaulty(src, dst, sl, dl)
+	}
 	if sl == dl {
 		return nil, t.cfg.Crossing
 	}

@@ -44,6 +44,9 @@ func (c *CrossbarTopology) Nodes() int { return c.sw.Ports() }
 // never run and would register only as zero rows.
 func (c *CrossbarTopology) Instrument(m *metrics.Registry) {}
 
+// Diameter reports the single crossing of the star topology.
+func (c *CrossbarTopology) Diameter() int { return 1 }
+
 // FatTreeConfig describes a two-level folded-Clos (fat-tree) fabric built
 // from crossbar elements: hosts attach to leaf switches; every leaf has one
 // up-link to each spine.
@@ -145,3 +148,6 @@ func (t *FatTree) Hops(src, dst int) int {
 	}
 	return 3
 }
+
+// Diameter reports the longest route's element count: leaf, spine, leaf.
+func (t *FatTree) Diameter() int { return 3 }

@@ -1,0 +1,331 @@
+package fabric
+
+import (
+	"fmt"
+
+	"mpinet/internal/faults"
+	"mpinet/internal/msgtrace"
+	"mpinet/internal/sim"
+)
+
+// This file is the fabric's failure-domain layer: rendering a fault plan's
+// SwitchKills and LinecardDegrades into routing behaviour. The Clos model
+// keeps state only at the leaf tier, so element deaths map onto route
+// equivalence classes: a spine-tier kill (Level >= 1) takes down the
+// up-link plane Index mod uplinks fabric-wide; a leaf kill (Level 0) takes
+// down every host under the leaf. Routing reacts on a detection delay —
+// before detection, traffic keeps selecting the dead element and
+// black-holes into it (the device retry protocols carry the gap, exactly
+// like a subnet-manager sweep interval); after, deterministic ECMP
+// re-hashes over the surviving planes and adaptive routing stops
+// considering dead ones. When no plane survives, or an endpoint's leaf is
+// detected dead, the route is Partitioned: the device fails typed
+// (faults.PartitionError) instead of burning its retry budget.
+
+// RouteState classifies the route Between just computed.
+type RouteState int
+
+const (
+	// RouteOK is a live route.
+	RouteOK RouteState = iota
+	// RouteBlackhole is a route through a dead element whose death is not
+	// yet detected: the packet is forcibly lost (no PRNG draw — the fate is
+	// structural, not probabilistic), and the device's retry protocol covers
+	// the detection window.
+	RouteBlackhole
+	// RoutePartitioned means no surviving route exists between the
+	// endpoints; the device must fail typed rather than transmit.
+	RoutePartitioned
+)
+
+// RouteInfo is the fate annotation of the last route computed by a
+// fault-aware topology, read back via LastRouteOf immediately after the
+// path-building call (safe under the cooperative scheduler: nothing runs
+// between Between and the read-back).
+type RouteInfo struct {
+	State RouteState
+	// Plane is the up-link equivalence class the route rides (-1 for
+	// same-leaf traffic that never climbs).
+	Plane int
+	// Element names the dead element responsible for a Blackhole or
+	// Partitioned verdict ("leaf 3", "spine plane 1").
+	Element string
+	// ElementCode is the packed element identity for flight-recorder
+	// attribution (msgtrace element codes), 0 when State is RouteOK.
+	ElementCode int64
+	// ExtraDrop is the summed extra drop probability of linecard degrades
+	// active on this route — a pure function of (route, now), fed to
+	// Injector.VerdictExtra so degraded runs replay byte-identically.
+	ExtraDrop float64
+}
+
+// Element codes are msgtrace's packed flight-record encoding, re-exported
+// here so fabric callers need not name the tracing package.
+const (
+	ElemLeaf  = msgtrace.ElemLeaf
+	ElemPlane = msgtrace.ElemPlane
+	ElemNode  = msgtrace.ElemNode
+)
+
+// ElemCode packs an element kind and index into a flight-record argument.
+func ElemCode(kind int64, index int) int64 { return msgtrace.ElemCode(kind, index) }
+
+// elementHealth is the Clos topology's view of the fault plan's element
+// faults. The engine is the clock: Between has no now parameter, and under
+// a fault plan the world always runs classic single-engine mode, so the
+// engine's now is the packet's send instant.
+type elementHealth struct {
+	kills    []faults.SwitchKill
+	degrades []faults.LinecardDegrade
+	detect   sim.Time
+	eng      *sim.Engine
+	last     RouteInfo
+}
+
+// SetElementFaults arms the topology's failure-domain rendering from a
+// plan's SwitchKills/LinecardDegrades. The device calls it at construction
+// when the plan has element faults; eng supplies the clock. Kills at
+// levels the fabric does not have are rejected.
+func (t *Clos) SetElementFaults(p *faults.Plan, eng *sim.Engine) error {
+	if p == nil || !p.HasElements() {
+		return nil
+	}
+	for _, k := range p.SwitchKills {
+		if k.Level < 0 || k.Level >= t.cfg.Levels {
+			return fmt.Errorf("switch kill at level %d: fabric has levels 0..%d", k.Level, t.cfg.Levels-1)
+		}
+		if k.Level == 0 && (k.Index < 0 || k.Index >= t.leaves) {
+			return fmt.Errorf("switch kill at leaf %d: fabric has %d leaves", k.Index, t.leaves)
+		}
+	}
+	t.health = &elementHealth{
+		kills:    append([]faults.SwitchKill(nil), p.SwitchKills...),
+		degrades: append([]faults.LinecardDegrade(nil), p.LinecardDegrades...),
+		detect:   p.DetectionDelay(),
+		eng:      eng,
+	}
+	return nil
+}
+
+// LastRoute returns the fate annotation of the most recent Between call.
+// Zero-valued (RouteOK) when the topology has no element faults armed.
+func (t *Clos) LastRoute() RouteInfo {
+	if t.health == nil {
+		return RouteInfo{Plane: -1}
+	}
+	return t.health.last
+}
+
+// planeState reports whether up-link plane u is dead at now and whether the
+// death has been detected.
+func (t *Clos) planeState(u int, now sim.Time) (dead, detected bool) {
+	h := t.health
+	for _, k := range h.kills {
+		if k.Level >= 1 && k.Index%t.uplinks == u {
+			if k.Dead(now) {
+				dead = true
+			}
+			if k.Detected(now, h.detect) {
+				detected = true
+			}
+		}
+	}
+	return dead, detected
+}
+
+// leafState reports whether leaf l is dead at now and whether the death has
+// been detected.
+func (t *Clos) leafState(l int, now sim.Time) (dead, detected bool) {
+	h := t.health
+	for _, k := range h.kills {
+		if k.Level == 0 && k.Index == l {
+			if k.Dead(now) {
+				dead = true
+			}
+			if k.Detected(now, h.detect) {
+				detected = true
+			}
+		}
+	}
+	return dead, detected
+}
+
+// routeExtra sums the linecard degrades active on a route at now: leaf
+// degrades on either endpoint leaf, plane degrades on the chosen plane.
+func (t *Clos) routeExtra(sl, dl, plane int, now sim.Time) float64 {
+	var extra float64
+	for _, d := range t.health.degrades {
+		if !d.Active(now) {
+			continue
+		}
+		switch {
+		case d.Level == 0 && (d.Index == sl || d.Index == dl):
+			extra += d.Drop
+		case d.Level >= 1 && plane >= 0 && d.Index%t.uplinks == plane:
+			extra += d.Drop
+		}
+	}
+	return extra
+}
+
+// betweenFaulty is Between with element-fault rendering armed. It mirrors
+// the healthy path exactly when no fault is active at now — same plane
+// choice, same adaptive draws — so arming an all-future plan does not
+// perturb the pre-fault prefix of a run.
+func (t *Clos) betweenFaulty(src, dst, sl, dl int) ([]PathStage, sim.Time) {
+	h := t.health
+	now := h.eng.Now()
+	if sl == dl {
+		info := RouteInfo{Plane: -1}
+		if dead, det := t.leafState(sl, now); dead {
+			info.Element = fmt.Sprintf("leaf %d", sl)
+			info.ElementCode = ElemCode(ElemLeaf, sl)
+			if det {
+				info.State = RoutePartitioned
+			} else {
+				info.State = RouteBlackhole
+			}
+		}
+		info.ExtraDrop = t.routeExtra(sl, dl, -1, now)
+		h.last = info
+		return nil, t.cfg.Crossing
+	}
+	// A dead endpoint leaf beats plane selection: no plane routes around it.
+	// A detected leaf death partitions; an undetected one black-holes.
+	info := RouteInfo{Plane: -1}
+	for _, l := range [2]int{sl, dl} {
+		dead, det := t.leafState(l, now)
+		if !dead {
+			continue
+		}
+		if det || info.State == RouteOK {
+			info.Element = fmt.Sprintf("leaf %d", l)
+			info.ElementCode = ElemCode(ElemLeaf, l)
+			if det {
+				info.State = RoutePartitioned
+			} else {
+				info.State = RouteBlackhole
+			}
+		}
+		if info.State == RoutePartitioned {
+			break
+		}
+	}
+	// Routable planes: those whose death, if any, is not yet detected.
+	// Detection removes a plane from the hash space (the re-hash); repair
+	// puts it straight back (Dead turns false at RepairAt).
+	routable := make([]int, 0, t.uplinks)
+	firstDetected := -1
+	for u := 0; u < t.uplinks; u++ {
+		if _, det := t.planeState(u, now); det {
+			if firstDetected < 0 {
+				firstDetected = u
+			}
+			continue
+		}
+		routable = append(routable, u)
+	}
+	var u int
+	switch {
+	case len(routable) == 0:
+		// Every plane detected dead: the fabric is partitioned. Build the
+		// path on the would-be plane anyway so callers that ignore the fate
+		// still get a well-formed (never transmitted) path.
+		u = dst % t.uplinks
+		if info.State != RoutePartitioned {
+			info.State = RoutePartitioned
+			info.Element = fmt.Sprintf("spine plane %d", firstDetected)
+			info.ElementCode = ElemCode(ElemPlane, firstDetected)
+		}
+	case t.cfg.Routing == Deterministic || len(routable) == 1:
+		// ECMP re-hash over the survivors; with every plane routable this is
+		// exactly the healthy dst % uplinks.
+		u = routable[dst%len(routable)]
+	default:
+		u = t.pickAdaptive(sl, routable)
+	}
+	if dead, _ := t.planeState(u, now); dead && info.State == RouteOK {
+		// Chosen plane is dead but not yet detected: black-hole.
+		info.State = RouteBlackhole
+		info.Element = fmt.Sprintf("spine plane %d", u)
+		info.ElementCode = ElemCode(ElemPlane, u)
+	}
+	info.Plane = u
+	info.ExtraDrop = t.routeExtra(sl, dl, u, now)
+	h.last = info
+
+	climbs := sim.Time(t.climbs(sl, dl))
+	hop := t.cfg.Crossing + t.cfg.WireLatency
+	stages := []PathStage{
+		{Stage: t.up[sl][u], Latency: climbs * hop},
+		{Stage: t.down[dl][u], Latency: climbs * hop},
+	}
+	return stages, t.cfg.Crossing
+}
+
+// pickAdaptive is the adaptive policy restricted to a candidate plane set:
+// least-backlogged up-link, seeded counter tie-break. With the full plane
+// set it consumes exactly the draws the healthy pickUplink would.
+func (t *Clos) pickAdaptive(sl int, candidates []int) int {
+	best := []int{candidates[0]}
+	bestAt := t.up[sl][candidates[0]].FreeAt()
+	for _, u := range candidates[1:] {
+		at := t.up[sl][u].FreeAt()
+		if at < bestAt {
+			best, bestAt = best[:0], at
+			best = append(best, u)
+		} else if at == bestAt {
+			best = append(best, u)
+		}
+	}
+	if len(best) == 1 {
+		return best[0]
+	}
+	n := t.counter[sl]
+	t.counter[sl] = n + 1
+	r := sim.NewRNG(t.cfg.Seed ^ uint64(sl)<<32 ^ n)
+	return best[r.Intn(len(best))]
+}
+
+// DeadElement reports the first fabric element dead at now, for rail-layer
+// incident attribution (a rail whose fabric lost a spine should name the
+// spine, not just itself). ok is false when nothing is dead.
+func (t *Clos) DeadElement(now sim.Time) (name string, code int64, ok bool) {
+	if t.health == nil {
+		return "", 0, false
+	}
+	for _, k := range t.health.kills {
+		if !k.Dead(now) {
+			continue
+		}
+		if k.Level == 0 {
+			return fmt.Sprintf("leaf %d", k.Index), ElemCode(ElemLeaf, k.Index), true
+		}
+		p := k.Index % t.uplinks
+		return fmt.Sprintf("spine plane %d", p), ElemCode(ElemPlane, p), true
+	}
+	return "", 0, false
+}
+
+// Diameter reports the element count of the longest route: up through
+// Levels-1 tiers and back down, plus the destination leaf (Hops' maximum).
+func (t *Clos) Diameter() int { return 2*(t.cfg.Levels-1) + 1 }
+
+// DiameterOf reports a topology's diameter — the element count of its
+// longest route — defaulting to 1 (single crossbar) for topologies that do
+// not report one.
+func DiameterOf(t Topology) int {
+	if d, ok := t.(interface{ Diameter() int }); ok {
+		return d.Diameter()
+	}
+	return 1
+}
+
+// LastRouteOf reads back the fate of the last route a topology computed;
+// RouteOK for topologies without fault-aware routing.
+func LastRouteOf(t Topology) RouteInfo {
+	if lr, ok := t.(interface{ LastRoute() RouteInfo }); ok {
+		return lr.LastRoute()
+	}
+	return RouteInfo{Plane: -1}
+}

@@ -34,13 +34,48 @@ import (
 // Match with errors.Is.
 var ErrRetryExhausted = errors.New("retry exhausted")
 
+// ErrPartitioned is the sentinel wrapped by every failure where no route
+// survives between two endpoints: every ECMP plane of a Clos dead
+// (PartitionError), or the destination node itself crashed (NodeDownError).
+// Unlike ErrRetryExhausted it is not a probabilistic exhaustion but a
+// structural verdict — retrying cannot help. Match with errors.Is.
+var ErrPartitioned = errors.New("fabric partitioned")
+
 // DefaultTimeout is the per-wait MPI watchdog armed automatically when a
 // world runs on a network with a fault plan. It is far above every
 // device's worst-case retry budget (the longest, the verbs exponential
 // backoff, exhausts in ~19 ms), so retry-exhaustion errors always win the
 // race against the watchdog and the watchdog only fires for waits that no
-// retransmit will ever satisfy.
+// retransmit will ever satisfy. Worlds larger than the paper's 8-node
+// testbed arm ScaledTimeout instead.
 const DefaultTimeout = 500 * units.Millisecond
+
+// ScaledTimeout is the watchdog budget for a world of the given rank count
+// on a fabric of the given diameter (elements crossed by the longest
+// route). The 8-node default is far too tight for thousand-rank Clos runs
+// under faults — collectives decompose into log2(N) serialized phases and
+// every phase can eat a full retry chain — so the budget grows by half the
+// default per rank-count doubling past 8 and a quarter per element of
+// fabric depth past the single crossbar. ScaledTimeout(8, 1) is exactly
+// DefaultTimeout, so the paper-scale testbeds keep their committed outputs.
+func ScaledTimeout(ranks, diameter int) units.Time {
+	t := DefaultTimeout
+	for n := 8; n < ranks; n *= 2 {
+		t += DefaultTimeout / 2
+	}
+	if diameter > 1 {
+		t += units.Time(diameter-1) * (DefaultTimeout / 4)
+	}
+	return t
+}
+
+// DefaultDetectDelay is the failure-detection delay used when a plan
+// schedules element or node deaths without setting DetectDelay: how long
+// the fabric keeps routing onto a dead element (packets black-holing into
+// it, device retry protocols covering the gap) before the routing layer
+// re-hashes around it — the subnet-manager sweep / route-remap interval of
+// the real interconnects.
+const DefaultDetectDelay = 1 * units.Millisecond
 
 // Wildcard matches any node in a LinkRule or Flap endpoint.
 const Wildcard = -1
@@ -84,6 +119,28 @@ type Plan struct {
 	// (brown-out rather than hard kill). Folded into Degrades by Flatten,
 	// like RailKills.
 	RailDegrades []RailDegrade
+	// SwitchKills take whole fabric elements of a multi-stage (Clos)
+	// topology hard down: a spine plane (Level >= 1) or a leaf element with
+	// every host under it (Level 0). Rendered by the fabric's routing layer,
+	// not the per-link injector; requires a Clos topology.
+	SwitchKills []SwitchKill
+	// LinecardDegrades add extra drop probability to every packet riding a
+	// fabric element within a window — a failing linecard rather than a dead
+	// chassis. Drawn through the same per-link counter PRNG as Degrades, so
+	// degraded runs replay byte-identically. Requires a Clos topology.
+	LinecardDegrades []LinecardDegrade
+	// NodeCrashes kill host nodes: from At the node's NIC is dark (every
+	// packet to or from it is lost) and, at the MPI layer, every rank mapped
+	// to the node is dead. An optional RepairAt re-lights the NIC (reboot),
+	// but crashed MPI ranks stay dead — process state does not survive.
+	NodeCrashes []NodeCrash
+	// DetectDelay is how long after an element or node death the routing and
+	// MPI layers take to notice it (0 = DefaultDetectDelay). Before
+	// detection, traffic keeps black-holing into the dead element and the
+	// device retry protocols carry it; after, deterministic ECMP re-hashes
+	// onto surviving planes, adaptive routing stops considering them, and
+	// unreachable peers fail typed instead of burning retries.
+	DetectDelay units.Time
 }
 
 // LinkRule replaces the plan's baseline drop/corrupt rates on matching
@@ -142,8 +199,82 @@ type RailDegrade struct {
 	Drop        float64
 }
 
+// SwitchKill takes one switching element of a multi-stage fabric hard down
+// at At. Level 0 names a leaf element (Index is the leaf; every host under
+// it becomes unreachable); Level >= 1 names a spine-tier element, which in
+// the leaf-state-only Clos model kills the route equivalence class — the
+// up-link plane Index (mod the leaf up-link count) — fabric-wide. RepairAt,
+// when non-zero, brings the element back (cable re-seated, chassis power
+// restored); 0 means it stays dead. On a bonded platform Rail names the
+// member fabric the element belongs to (solo networks are rail 0).
+type SwitchKill struct {
+	Level    int // 0 = leaf tier, >= 1 = spine tiers
+	Index    int // element index within the level
+	Rail     int // bonded platforms: which member fabric (default 0)
+	At       units.Time
+	RepairAt units.Time // 0 = never repaired
+}
+
+// Dead reports whether the killed element is down at now.
+func (k SwitchKill) Dead(now units.Time) bool {
+	return now >= k.At && (k.RepairAt == 0 || now < k.RepairAt)
+}
+
+// Detected reports whether the death is visible to routing at now: the
+// element has been down for at least detect and not yet repaired.
+func (k SwitchKill) Detected(now, detect units.Time) bool {
+	return now >= k.At+detect && (k.RepairAt == 0 || now < k.RepairAt)
+}
+
+// LinecardDegrade adds Drop extra per-packet drop probability to traffic
+// riding one fabric element in [From, Until): a spine plane (Level >= 1) or
+// a leaf (Level 0, hitting every route through that leaf). Rail selects the
+// bonded member fabric, as in SwitchKill.
+type LinecardDegrade struct {
+	Level       int
+	Index       int
+	Rail        int
+	From, Until units.Time
+	Drop        float64
+}
+
+// Active reports whether the degrade window covers now.
+func (d LinecardDegrade) Active(now units.Time) bool {
+	return now >= d.From && now < d.Until
+}
+
+// NodeCrash kills host node Node at At: its NIC goes dark (in-flight and
+// future packets to or from it are lost) and every MPI rank on it dies. A
+// non-zero RepairAt re-lights the NIC — the fabric link heals — but the MPI
+// ranks stay dead: a rebooted node does not rejoin a running job.
+type NodeCrash struct {
+	Node     int
+	At       units.Time
+	RepairAt units.Time // 0 = never; heals the link only, never the ranks
+}
+
+// Dead reports whether the node's NIC is dark at now.
+func (c NodeCrash) Dead(now units.Time) bool {
+	return now >= c.At && (c.RepairAt == 0 || now < c.RepairAt)
+}
+
 // Forever is the Until value of a window that never closes.
 const Forever = units.Time(math.MaxInt64)
+
+// HasElements reports whether the plan schedules fabric-element faults
+// (switch kills or linecard degrades), which only a multi-stage (Clos)
+// topology can render.
+func (p *Plan) HasElements() bool {
+	return p != nil && (len(p.SwitchKills) > 0 || len(p.LinecardDegrades) > 0)
+}
+
+// DetectionDelay resolves the plan's failure-detection delay.
+func (p *Plan) DetectionDelay() units.Time {
+	if p == nil || p.DetectDelay == 0 {
+		return DefaultDetectDelay
+	}
+	return p.DetectDelay
+}
 
 // Flatten resolves the rail-level entries of a plan for one rail: RailKills
 // on that rail become wildcard Flaps from their kill time onward, and
@@ -168,7 +299,21 @@ func (p *Plan) Flatten(rail int) *Plan {
 			touched = true
 		}
 	}
-	if !touched && len(p.RailKills) == 0 && len(p.RailDegrades) == 0 {
+	// Element faults are per-fabric too: a member network must only see the
+	// switch kills and linecard degrades of its own rail. Entries already on
+	// rail 0 rendered by a solo network need no rewrite.
+	filterElems := false
+	for _, k := range p.SwitchKills {
+		if k.Rail != 0 || rail != 0 {
+			filterElems = true
+		}
+	}
+	for _, d := range p.LinecardDegrades {
+		if d.Rail != 0 || rail != 0 {
+			filterElems = true
+		}
+	}
+	if !touched && !filterElems && len(p.RailKills) == 0 && len(p.RailDegrades) == 0 {
 		return p
 	}
 	q := *p
@@ -182,6 +327,21 @@ func (p *Plan) Flatten(rail int) *Plan {
 	for _, d := range p.RailDegrades {
 		if d.Rail == rail {
 			q.Degrades = append(q.Degrades, Degrade{Src: Wildcard, Dst: Wildcard, From: d.From, Until: d.Until, Drop: d.Drop})
+		}
+	}
+	if filterElems {
+		q.SwitchKills, q.LinecardDegrades = nil, nil
+		for _, k := range p.SwitchKills {
+			if k.Rail == rail {
+				k.Rail = 0
+				q.SwitchKills = append(q.SwitchKills, k)
+			}
+		}
+		for _, d := range p.LinecardDegrades {
+			if d.Rail == rail {
+				d.Rail = 0
+				q.LinecardDegrades = append(q.LinecardDegrades, d)
+			}
 		}
 	}
 	q.RailKills, q.RailDegrades = nil, nil
@@ -267,6 +427,41 @@ func (e *LinkError) Error() string {
 // Unwrap makes errors.Is(err, ErrRetryExhausted) hold.
 func (e *LinkError) Unwrap() error { return ErrRetryExhausted }
 
+// PartitionError is the typed failure a device raises when the fabric's
+// routing layer reports that no surviving path connects two endpoints:
+// every ECMP plane between them is dead, or the destination's leaf element
+// is down. Element names the blocking fabric element ("leaf 3", "spine
+// plane 1"). It wraps ErrPartitioned; retrying cannot help, so devices
+// raise it without burning their retry budget.
+type PartitionError struct {
+	Src, Dst int    // node indices of the unreachable pair
+	Element  string // the dead fabric element blocking every route
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("node%d->node%d unreachable (%s dead): %v", e.Src, e.Dst, e.Element, ErrPartitioned)
+}
+
+// Unwrap makes errors.Is(err, ErrPartitioned) hold.
+func (e *PartitionError) Unwrap() error { return ErrPartitioned }
+
+// NodeDownError is the typed failure a device raises once a crashed node's
+// death has been detected: the peer is not merely unreachable through the
+// fabric, it is gone. Wraps ErrPartitioned (no route can exist); the MPI
+// layer translates it into rank-death notification (RankFailedError) when
+// the job runs fault-tolerant.
+type NodeDownError struct {
+	Node int        // the crashed node
+	At   units.Time // when it died
+}
+
+func (e *NodeDownError) Error() string {
+	return fmt.Sprintf("node%d crashed at %v: %v", e.Node, e.At, ErrPartitioned)
+}
+
+// Unwrap makes errors.Is(err, ErrPartitioned) hold.
+func (e *NodeDownError) Unwrap() error { return ErrPartitioned }
+
 // Injector renders a Plan's verdicts for one network instance. Not safe
 // for concurrent use — like everything else owned by a sim.Engine, it runs
 // on the engine's goroutine. A nil *Injector is inert (Plan returns nil);
@@ -332,7 +527,49 @@ func (in *Injector) resolve(src, dst int) *linkState {
 			ls.degrades = append(ls.degrades, d)
 		}
 	}
+	// A crashed node's NIC is dark: fold each crash touching an endpoint of
+	// this link into a flap window, so packets to or from the node are lost
+	// exactly like a pulled cable until the (optional) repair.
+	for _, c := range in.plan.NodeCrashes {
+		if c.Node == src || c.Node == dst {
+			until := c.RepairAt
+			if until == 0 {
+				until = Forever
+			}
+			ls.flaps = append(ls.flaps, Flap{Src: src, Dst: dst, From: c.At, Until: until})
+		}
+	}
 	return ls
+}
+
+// NodeDead reports whether node's NIC is dark at now per the plan's
+// NodeCrashes. Nil-safe.
+func (in *Injector) NodeDead(node int, now units.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, c := range in.plan.NodeCrashes {
+		if c.Node == node && c.Dead(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeDeadDetected reports whether node's crash is both in effect and past
+// the plan's detection delay at now — the point where devices stop burning
+// retries toward it and fail typed instead. Nil-safe.
+func (in *Injector) NodeDeadDetected(node int, now units.Time) bool {
+	if in == nil {
+		return false
+	}
+	detect := in.plan.DetectionDelay()
+	for _, c := range in.plan.NodeCrashes {
+		if c.Node == node && now >= c.At+detect && (c.RepairAt == 0 || now < c.RepairAt) {
+			return true
+		}
+	}
+	return false
 }
 
 // Plan returns the plan the injector renders, or nil on a nil injector.
@@ -358,6 +595,15 @@ func (in *Injector) Instrument(m *metrics.Registry) {
 // simulated instant now. Each call consumes one per-link draw, so callers
 // must invoke it exactly once per transfer attempt.
 func (in *Injector) Verdict(src, dst int, now units.Time) Verdict {
+	return in.VerdictExtra(src, dst, now, 0)
+}
+
+// VerdictExtra is Verdict with an extra per-packet drop rate the route
+// itself contributes — a degrading linecard the packet happens to ride.
+// extra must be a pure function of (route, now) so the per-link ordinal
+// stays schedule-independent: the same packet sees the same extra rate in
+// every run.
+func (in *Injector) VerdictExtra(src, dst int, now units.Time, extra float64) Verdict {
 	in.packets.Inc()
 	key := [2]int{src, dst}
 	ls := in.links[key]
@@ -371,7 +617,7 @@ func (in *Injector) Verdict(src, dst int, now units.Time) Verdict {
 			return Drop
 		}
 	}
-	drop, corrupt := ls.drop, ls.corrupt
+	drop, corrupt := ls.drop+extra, ls.corrupt
 	for _, d := range ls.degrades {
 		if now >= d.From && now < d.Until {
 			drop += d.Drop

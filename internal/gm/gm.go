@@ -196,6 +196,14 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		} else {
 			n.topo = topo
 			n.dynamic = cc.Routing == fabric.Adaptive
+			if cfg.Faults.HasElements() {
+				if err := topo.SetElementFaults(cfg.Faults, eng); err != nil {
+					n.cfgErr = fmt.Errorf("gm: %w", err)
+				}
+				// Element deaths invalidate cached paths: every message must
+				// re-resolve its route so detection-time re-hashes take effect.
+				n.dynamic = true
+			}
 		}
 	} else {
 		if cfg.Nodes > cfg.SwitchPorts {
@@ -207,6 +215,10 @@ func New(eng *sim.Engine, cfg Config) *Network {
 			Rate:     units.BytesPerSecond(linkRateBps),
 		}))
 	}
+	if cfg.Faults.HasElements() && cfg.Clos == nil {
+		n.cfgErr = fmt.Errorf("gm: fault plan schedules fabric-element deaths but the topology is not a Clos")
+	}
+	n.announceElementDeaths()
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("myri%d", i)
 		hw := &nodeHW{
@@ -244,6 +256,48 @@ func (n *Network) ShmemBelow() int64 { return math.MaxInt64 }
 
 // FaultPlan implements dev.FaultPlanner (nil when faults are off).
 func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
+// Diameter implements dev.DiameterReporter.
+func (n *Network) Diameter() int {
+	if n.topo == nil {
+		return 1
+	}
+	return fabric.DiameterOf(n.topo)
+}
+
+// DeadElement implements dev.ElementHealth: forwarded to the fabric, which
+// knows which of the plan's element kills is in effect.
+func (n *Network) DeadElement(now sim.Time) (string, int64, bool) {
+	if eh, ok := n.topo.(interface {
+		DeadElement(sim.Time) (string, int64, bool)
+	}); ok {
+		return eh.DeadElement(now)
+	}
+	return "", 0, false
+}
+
+// announceElementDeaths schedules one FlightElementDown incident per
+// switch kill at its death instant, so a postmortem names the dead element
+// even when no packet happened to ride it. Node crashes are announced by
+// the MPI layer, which owns rank death.
+func (n *Network) announceElementDeaths() {
+	p := n.inj.Plan()
+	if !p.HasElements() || n.cfgErr != nil || n.cfg.Clos == nil {
+		return
+	}
+	uplinks := n.cfg.Clos.Uplinks()
+	for _, k := range p.SwitchKills {
+		code := msgtrace.ElemCode(msgtrace.ElemLeaf, k.Index)
+		if k.Level >= 1 {
+			code = msgtrace.ElemCode(msgtrace.ElemPlane, k.Index%uplinks)
+		}
+		at, repair := k.At, int64(k.RepairAt)
+		c := code
+		n.eng.At(at, func() {
+			n.rec.Flight(msgtrace.FlightElementDown, at, -1, 0, msgtrace.StageHop, c, repair)
+		})
+	}
+}
 
 // AttachTracer implements dev.TraceAttacher.
 func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
@@ -565,29 +619,56 @@ func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
 	tid, rail := rec.Cur(), rec.CurRail()
 	inj := ep.net.inj
 	if inj == nil || dst == ep.node {
-		ep.wireAttempt(tid, rail, 0, dst, size, eng.Now(), func(sim.Time) { finish() })
+		ep.wireAttempt(ep.path(dst), tid, rail, 0, size, eng.Now(), func(sim.Time) { finish() })
 		return
 	}
 	start := eng.Now() + inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
+	// release undoes the staging claim when the transfer fails permanently.
+	release := func() {
+		if bulk {
+			src.outTx -= size
+			dstHW.outRx -= size
+		}
+	}
 	// GM send-token reliability: a lost or damaged packet means no ACK;
 	// the sending LANai times out and resends at a fixed interval. The
 	// send token (and its SRAM staging) stays held across resends —
 	// exactly why faulty links amplify the Figure 5 staging pressure —
-	// and each resend costs the LANai a firmware timeout handler.
+	// and each resend costs the LANai a firmware timeout handler. Each
+	// attempt re-resolves the route (the GM mapper's up*/down* route remap):
+	// after the detection delay a resend re-hashes around a dead element,
+	// while a detected dead end fails typed without burning resends.
 	attempt := 1
 	var try func(at sim.Time)
 	try = func(at sim.Time) {
-		ep.wireAttempt(tid, rail, uint8(attempt-1), dst, size, at,
+		if inj.NodeDeadDetected(dst, at) || inj.NodeDeadDetected(ep.node, at) {
+			node := dst
+			if inj.NodeDeadDetected(ep.node, at) {
+				node = ep.node
+			}
+			release()
+			ep.fail(&faults.NodeDownError{Node: node, At: at})
+			return
+		}
+		path := ep.path(dst)
+		fate := fabric.LastRouteOf(ep.net.topo)
+		if fate.State == fabric.RoutePartitioned {
+			release()
+			ep.fail(&faults.PartitionError{Src: ep.node, Dst: dst, Element: fate.Element})
+			return
+		}
+		ep.wireAttempt(path, tid, rail, uint8(attempt-1), size, at,
 			func(end sim.Time) {
-				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
+				v := faults.Drop // black-holed: structural loss, no PRNG draw
+				if fate.State != fabric.RouteBlackhole {
+					v = inj.VerdictExtra(ep.node, dst, end, fate.ExtraDrop)
+				}
+				if v == faults.Deliver {
 					finish()
 					return
 				}
 				if attempt > gmRetry.Limit {
-					if bulk {
-						src.outTx -= size
-						dstHW.outRx -= size
-					}
+					release()
 					ep.fail(&faults.LinkError{Src: ep.node, Dst: dst,
 						Attempts: attempt, Bytes: size, Proto: "GM send-token resend"})
 					return
@@ -660,7 +741,7 @@ func (ep *endpoint) scaleTransfer(dst int, size int64, bulk bool, deliver func()
 // wireAttempt runs one transfer attempt over the staged path, recording the
 // attempt's wire span (and per-hop fabric detail) when the message is
 // sampled; unsampled messages take the plain zero-extra-cost path.
-func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst int, size int64, at sim.Time, done func(sim.Time)) {
+func (ep *endpoint) wireAttempt(path []fabric.PathStage, tid msgtrace.ID, rail int8, attempt uint8, size int64, at sim.Time, done func(sim.Time)) {
 	rec := ep.net.rec
 	if rec.Sampled(tid) {
 		inner := done
@@ -668,11 +749,11 @@ func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst i
 			rec.Span(tid, msgtrace.StageWire, ep.node, rail, attempt, -1, at, end, size)
 			inner(end)
 		}
-		fabric.TransferTraced(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+		fabric.TransferTraced(ep.net.eng, path, size, fabric.ChunkFor(size), at,
 			rec, tid, ep.node, rail, attempt, done)
 		return
 	}
-	fabric.Transfer(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at, done)
+	fabric.Transfer(ep.net.eng, path, size, fabric.ChunkFor(size), at, done)
 }
 
 // Eager implements dev.Endpoint (gm_send into a pre-posted receive buffer).

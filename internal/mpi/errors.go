@@ -20,6 +20,12 @@ var (
 	// ErrTruncate marks MPI_ERR_TRUNCATE: a message larger than the posted
 	// receive buffer.
 	ErrTruncate = errors.New("message truncation")
+	// ErrRankFailed marks an operation that could not complete because the
+	// peer rank died (its node crashed). With Config.FaultTolerant the error
+	// arrives on the completed operation's Status.Err — ULFM-style rank-death
+	// notification, the job survives; without it, the first such operation
+	// aborts the job with this error.
+	ErrRankFailed = errors.New("peer rank failed")
 )
 
 // TimeoutError is the concrete error behind ErrTimeout: which rank gave up
@@ -52,7 +58,30 @@ func (e *TruncateError) Error() string {
 // Unwrap makes errors.Is(err, ErrTruncate) hold.
 func (e *TruncateError) Unwrap() error { return ErrTruncate }
 
+// RankFailedError is the concrete error behind ErrRankFailed: which rank
+// observed the death, which peer died, during what operation.
+type RankFailedError struct {
+	Rank   int    // the rank whose operation failed
+	Failed int    // the dead peer rank
+	Op     string // the wait description, e.g. "recv from rank 3 (tag 0)"
+	At     sim.Time
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s: rank %d is dead (noticed %v): %v",
+		e.Rank, e.Op, e.Failed, e.At, ErrRankFailed)
+}
+
+// Unwrap makes errors.Is(err, ErrRankFailed) hold.
+func (e *RankFailedError) Unwrap() error { return ErrRankFailed }
+
 // jobAbort is the panic value a rank process raises to tear the job down
 // once the world has recorded a fatal fault. World.Run recovers it and
 // returns the recorded error; any other panic value propagates unchanged.
 type jobAbort struct{ err error }
+
+// rankKilled is the panic value a crashed rank's process raises to unwind
+// itself without failing the job: its node died, the process is gone, but
+// the job's fate is decided by how the surviving ranks handle the death.
+// Recovered inside the rank's own spawn wrapper, never seen by the engine.
+type rankKilled struct{ rank int }

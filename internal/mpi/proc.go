@@ -172,8 +172,13 @@ func (ps *procState) enqueue(step func(p *sim.Proc)) {
 }
 
 // poll runs all pending protocol steps, charging their host cost. Called on
-// entry to every MPI operation and inside progress waits.
+// entry to every MPI operation and inside progress waits — which makes it
+// the first library touch after this rank's node crashes, so the crashed
+// rank's process unwinds here.
 func (ps *procState) poll(p *sim.Proc) {
+	if ps.world.rankDead(ps.rank) {
+		panic(&rankKilled{rank: ps.rank})
+	}
 	for len(ps.actions) > 0 {
 		step := ps.actions[0]
 		ps.actions = ps.actions[1:]

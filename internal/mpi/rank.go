@@ -148,6 +148,11 @@ func (r *Rank) Waitany(reqs []*Request) (int, Status) {
 	idx := -1
 	r.ps.waitFor(r.p, "waitany", func() bool {
 		for i, req := range reqs {
+			if req != nil && !req.done {
+				if failed, ok := r.ps.world.peerFailed(req); ok {
+					r.ps.failPeer(req, failed, "waitany")
+				}
+			}
 			if req != nil && req.done {
 				idx = i
 				return true
@@ -179,7 +184,17 @@ func (r *Rank) waitOne(req *Request) Status {
 			why = fmt.Sprintf("recv from rank %d (tag %d)", req.src, req.tag)
 		}
 	}
-	r.ps.waitFor(r.p, why, func() bool { return req.done })
+	r.ps.waitFor(r.p, why, func() bool {
+		if !req.done {
+			// Rank-death notification: a wait on a dead peer resolves —
+			// exceptionally completed under FaultTolerant, a typed job abort
+			// otherwise — instead of riding the watchdog to a TimeoutError.
+			if failed, ok := r.ps.world.peerFailed(req); ok {
+				r.ps.failPeer(req, failed, why)
+			}
+		}
+		return req.done
+	})
 	return req.status
 }
 

@@ -12,6 +12,11 @@ type Status struct {
 	Source int
 	Tag    int
 	Size   int64
+	// Err is non-nil when the operation completed exceptionally under
+	// Config.FaultTolerant: the peer rank died and the wait was resolved
+	// with a *RankFailedError (errors.Is(Err, ErrRankFailed)) instead of a
+	// message. Size is 0 and Source names the dead rank in that case.
+	Err error
 }
 
 // Request is a non-blocking operation handle, completed through Wait /

@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpinet/internal/cluster"
+	"mpinet/internal/dev"
+	"mpinet/internal/faults"
+	"mpinet/internal/units"
+)
+
+// crashNet builds a 2-node IBA network where node 1 crashes at the given
+// instant.
+func crashNet(at units.Time, procs int) dev.Network {
+	p := cluster.IBA().With(
+		cluster.WithNodeCrashes(faults.NodeCrash{Node: 1, At: at}),
+		cluster.WithSeed(1))
+	return p.New(procs)
+}
+
+// Without FaultTolerant, the first operation touching a crashed rank aborts
+// the job with a typed RankFailedError — not a watchdog timeout, and never a
+// hang.
+func TestNodeCrashAbortsTyped(t *testing.T) {
+	w := MustWorld(Config{Net: crashNet(10*units.Microsecond, 2), Procs: 2})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(r.Malloc(512), 1, 0) // rank 1 dies before sending
+		} else {
+			r.Compute(10 * units.Millisecond)
+		}
+	})
+	if err == nil {
+		t.Fatal("receive from a crashed rank did not fail the run")
+	}
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("err %v is not ErrRankFailed", err)
+	}
+	var rfe *RankFailedError
+	if !errors.As(err, &rfe) {
+		t.Fatalf("err %v carries no *RankFailedError", err)
+	}
+	if rfe.Rank != 0 || rfe.Failed != 1 {
+		t.Errorf("RankFailedError attributes rank %d noticing rank %d, want 0 noticing 1", rfe.Rank, rfe.Failed)
+	}
+	if !strings.Contains(rfe.Op, "recv from rank 1") {
+		t.Errorf("RankFailedError.Op = %q does not name the stuck receive", rfe.Op)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Error("rank death must beat the watchdog, not ride it")
+	}
+}
+
+// Under FaultTolerant, a receive from a dead rank completes exceptionally:
+// Status.Err carries the RankFailedError, Source names the corpse, and the
+// job keeps running — the ULFM notification contract.
+func TestTolerantRecvNotifies(t *testing.T) {
+	var st Status
+	w := MustWorld(Config{Net: crashNet(10*units.Microsecond, 2), Procs: 2, FaultTolerant: true})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			st = r.Recv(r.Malloc(512), 1, 0)
+		} else {
+			r.Compute(10 * units.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("tolerant world aborted: %v", err)
+	}
+	if st.Err == nil {
+		t.Fatal("receive from a dead rank completed without notification")
+	}
+	if !errors.Is(st.Err, ErrRankFailed) {
+		t.Fatalf("Status.Err %v is not ErrRankFailed", st.Err)
+	}
+	if st.Source != 1 {
+		t.Errorf("Status.Source = %d, want the dead rank 1", st.Source)
+	}
+	if st.Size != 0 {
+		t.Errorf("Status.Size = %d for an exceptional completion", st.Size)
+	}
+}
+
+// Sends to a dead peer notify the same way: an Isend's Wait completes with
+// Status.Err instead of hanging on an acknowledgement that cannot come.
+func TestTolerantSendNotifies(t *testing.T) {
+	var st Status
+	w := MustWorld(Config{Net: crashNet(10*units.Microsecond, 2), Procs: 2, FaultTolerant: true})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(5 * units.Millisecond) // let the death be detected first
+			st = r.Wait(r.Isend(r.Malloc(64*units.KB), 1, 3))
+		} else {
+			r.Compute(10 * units.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("tolerant world aborted: %v", err)
+	}
+	if st.Err == nil || !errors.Is(st.Err, ErrRankFailed) {
+		t.Fatalf("send to a dead rank: Status.Err = %v, want rank-failed", st.Err)
+	}
+}
+
+// An any-source receive cannot name its peer up front, so a detected death
+// anywhere resolves it: the notification names whichever rank died.
+func TestTolerantAnySourceNotifies(t *testing.T) {
+	var st Status
+	w := MustWorld(Config{Net: crashNet(10*units.Microsecond, 2), Procs: 2, FaultTolerant: true})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			st = r.Recv(r.Malloc(512), AnySource, 0)
+		} else {
+			r.Compute(10 * units.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("tolerant world aborted: %v", err)
+	}
+	if st.Err == nil || st.Source != 1 {
+		t.Fatalf("any-source notification: Err=%v Source=%d, want rank 1's death", st.Err, st.Source)
+	}
+}
+
+// Collectives ride internal (negative) tags and are not individually
+// recoverable: a dead participant is fatal even under FaultTolerant, typed.
+func TestTolerantCollectiveFatal(t *testing.T) {
+	w := MustWorld(Config{Net: crashNet(10*units.Microsecond, 4), Procs: 4, FaultTolerant: true})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Compute(10 * units.Millisecond) // dies mid-sleep; never reaches the barrier
+			return
+		}
+		r.Barrier()
+	})
+	if err == nil {
+		t.Fatal("barrier with a dead participant completed")
+	}
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("err %v is not ErrRankFailed", err)
+	}
+}
+
+// A crashed rank stays dead at the MPI layer even when the plan repairs the
+// node's link: a rebooted node does not rejoin the job.
+func TestCrashPermanentDespiteRepair(t *testing.T) {
+	p := cluster.IBA().With(
+		cluster.WithNodeCrashes(faults.NodeCrash{Node: 1, At: 10 * units.Microsecond, RepairAt: units.Millisecond}),
+		cluster.WithSeed(1))
+	var st Status
+	w := MustWorld(Config{Net: p.New(2), Procs: 2, FaultTolerant: true})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(10 * units.Millisecond) // well past the link repair
+			st = r.Recv(r.Malloc(512), 1, 0)
+		} else {
+			r.Compute(20 * units.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("tolerant world aborted: %v", err)
+	}
+	if st.Err == nil || !errors.Is(st.Err, ErrRankFailed) {
+		t.Fatalf("repaired link resurrected the rank: Status.Err = %v", st.Err)
+	}
+}
+
+// A plan with node crashes on a multi-stage fabric arms the scaled watchdog:
+// budget grows with rank count and fabric diameter instead of staying at the
+// 8-node default.
+func TestScaledWatchdogAutoArm(t *testing.T) {
+	p := cluster.IBA().With(
+		cluster.Clos(2, 8, 1),
+		cluster.WithNodeCrashes(faults.NodeCrash{Node: 1, At: units.Millisecond}),
+		cluster.WithSeed(1))
+	w := MustWorld(Config{Net: p.New(32), Procs: 32})
+	want := faults.ScaledTimeout(32, 3) // 2-level Clos: diameter 3
+	if w.cfg.Timeout != want {
+		t.Fatalf("Timeout = %v, want scaled %v", w.cfg.Timeout, want)
+	}
+	if w.cfg.Timeout <= faults.DefaultTimeout {
+		t.Fatal("scaled watchdog no larger than the default")
+	}
+	// An explicit Timeout always wins over the auto-arming.
+	w2 := MustWorld(Config{Net: p.New(32), Procs: 32, Timeout: units.Second})
+	if w2.cfg.Timeout != units.Second {
+		t.Fatalf("explicit Timeout overridden: %v", w2.cfg.Timeout)
+	}
+}

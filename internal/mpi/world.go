@@ -11,6 +11,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -56,10 +57,21 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Timeout is the per-wait watchdog: a blocking MPI operation that makes
 	// no progress for this long fails the job with a TimeoutError instead
-	// of hanging. 0 means the default policy — armed at faults.DefaultTimeout
-	// when the network carries a fault plan (dev.FaultPlanner), off
-	// otherwise; negative disables the watchdog unconditionally.
+	// of hanging. 0 means the default policy — armed when the network
+	// carries a fault plan (dev.FaultPlanner) at faults.ScaledTimeout(Procs,
+	// diameter), which grows with the rank count and the fabric's hop
+	// diameter (dev.DiameterReporter) so a thousand-rank Clos job is not
+	// held to a crossbar's deadline; off otherwise; negative disables the
+	// watchdog unconditionally.
 	Timeout sim.Time
+	// FaultTolerant selects ULFM-style rank-death handling: when a node
+	// crash (faults.Plan.NodeCrashes) kills a peer, pending user-level
+	// point-to-point operations on the dead rank complete with Status.Err
+	// set to a *RankFailedError instead of aborting the job — the program
+	// decides whether to route around the death. Collectives involving a
+	// dead rank remain fatal (a typed RankFailedError job error), as does
+	// every rank death when this is false.
+	FaultTolerant bool
 	// MsgTrace, when non-nil, enables per-message span tracing: every send
 	// is assigned a trace ID and sampled messages record typed stage spans
 	// across the MPI library, the rail bond, the NIC models and the fabric
@@ -149,6 +161,17 @@ type World struct {
 	commIDs     map[string]int
 	nextComm    int
 	splitBoards map[[2]int]map[int][2]int
+
+	// ULFM-lite rank-death state (see ulfm.go). A fault plan forces the
+	// classic single-engine path, so none of this needs locking. crashed
+	// marks ranks whose node died — each unwinds at its next library call;
+	// failed marks deaths the job has detected (crash + detection delay),
+	// visible to peers' pending operations. anyFailed is the fast path for
+	// the per-wait peer check.
+	tolerant  bool
+	crashed   []bool
+	failed    []bool
+	anyFailed bool
 }
 
 // NewWorld validates the configuration and builds per-rank state. A
@@ -171,7 +194,11 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Timeout == 0 {
 		if fp, ok := cfg.Net.(dev.FaultPlanner); ok && fp.FaultPlan() != nil {
-			cfg.Timeout = faults.DefaultTimeout
+			diam := 1
+			if dr, ok := cfg.Net.(dev.DiameterReporter); ok {
+				diam = dr.Diameter()
+			}
+			cfg.Timeout = faults.ScaledTimeout(cfg.Procs, diam)
 		}
 	}
 	w := &World{
@@ -250,6 +277,14 @@ func NewWorld(cfg Config) (*World, error) {
 		if fr, ok := ps.ep.(dev.FaultReporter); ok {
 			rank, node := ps.rank, ps.node
 			fr.OnFault(func(err error) {
+				var nde *faults.NodeDownError
+				if w.tolerant && errors.As(err, &nde) {
+					// A transfer ran into a crashed node while the job runs
+					// fault-tolerant: the death surfaces on the pending
+					// operation as a RankFailedError (see peerFailed), not as
+					// a job abort.
+					return
+				}
 				// Freeze the flight ring at the original sin: the recorder
 				// fills in the failing message from its last incident entry.
 				w.rec.Freeze("device fault: "+err.Error(), w.eng.Now(), rank, msgtrace.StageWire, 0)
@@ -257,6 +292,12 @@ func NewWorld(cfg Config) (*World, error) {
 			})
 		}
 		w.procs = append(w.procs, ps)
+	}
+	w.tolerant = cfg.FaultTolerant
+	if fp, ok := cfg.Net.(dev.FaultPlanner); ok && !w.scale {
+		if plan := fp.FaultPlan(); plan != nil && len(plan.NodeCrashes) > 0 {
+			w.armCrashes(plan)
+		}
 	}
 	return w, nil
 }
@@ -388,6 +429,19 @@ func (w *World) Run(main func(r *Rank)) (err error) {
 		// Each rank's process runs on its node's engine; on a classic world
 		// that is the single world engine for every rank.
 		proc := ps.eng.Spawn(fmt.Sprintf("rank%d", ps.rank), func(p *sim.Proc) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, ok := r.(*rankKilled); ok {
+					// The rank's node crashed: this process dies quietly. The
+					// job's fate is decided by how the surviving ranks handle
+					// the death, not by the victim's unwinding.
+					return
+				}
+				panic(r)
+			}()
 			main(&Rank{p: p, ps: ps})
 		})
 		if w.met != nil {
@@ -556,3 +610,6 @@ func (c *Config) SetTimeout(d sim.Time) { c.Timeout = d }
 
 // SetMsgTrace sets Config.MsgTrace.
 func (c *Config) SetMsgTrace(rec *msgtrace.Recorder) { c.MsgTrace = rec }
+
+// SetFaultTolerant sets Config.FaultTolerant.
+func (c *Config) SetFaultTolerant(on bool) { c.FaultTolerant = on }

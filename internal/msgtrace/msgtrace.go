@@ -161,10 +161,12 @@ const (
 	FlightRailDown                     // a rail was declared dead
 	FlightTimeout                      // the MPI watchdog fired
 	FlightAbort                        // the job aborted
+	FlightElementDown                  // a fabric element or node died (A = packed element code)
 )
 
 var flightNames = [...]string{
 	"send", "retransmit", "failover", "rail-down", "timeout", "abort",
+	"element-down",
 }
 
 // String implements fmt.Stringer.
@@ -173,6 +175,40 @@ func (k FlightKind) String() string {
 		return flightNames[k]
 	}
 	return "?"
+}
+
+// Element codes pack the identity of a dead fabric element or node into a
+// flight-record argument: kind<<32 | index. FlightElementDown carries one
+// in A; a FlightRailDown caused by an element death carries the culprit's
+// code in B so the incident names the switch, not just the rail.
+const (
+	// ElemLeaf is a leaf switching element (index = leaf number).
+	ElemLeaf int64 = iota
+	// ElemPlane is a spine up-link plane (index = plane number).
+	ElemPlane
+	// ElemNode is a host node (index = node number).
+	ElemNode
+)
+
+// ElemCode packs an element kind and index into a flight-record argument.
+func ElemCode(kind int64, index int) int64 { return kind<<32 | int64(uint32(index)) }
+
+// ElemDecode splits a packed element code.
+func ElemDecode(code int64) (kind int64, index int) {
+	return code >> 32, int(uint32(code))
+}
+
+// ElemName renders a packed element code for the postmortem dump.
+func ElemName(code int64) string {
+	kind, idx := ElemDecode(code)
+	switch kind {
+	case ElemLeaf:
+		return fmt.Sprintf("leaf %d", idx)
+	case ElemPlane:
+		return fmt.Sprintf("spine plane %d", idx)
+	default:
+		return fmt.Sprintf("node %d", idx)
+	}
 }
 
 // FlightRec is one fixed-size flight-recorder entry. A and B carry
@@ -486,8 +522,16 @@ func (r *Recorder) DumpFlight(w io.Writer) {
 		if e.Kind != FlightSend {
 			stage = e.Stage.String()
 		}
-		fmt.Fprintf(w, "  %-14s %-6d %-10s %-10s %-10s %8d %8d\n",
-			e.At.String(), e.Rank, e.Kind.String(), e.ID.String(), stage, e.A, e.B)
+		// Element attribution: incidents caused by a fabric-element or node
+		// death name the culprit, not just its packed code.
+		elem := ""
+		if e.Kind == FlightElementDown {
+			elem = "  " + ElemName(e.A)
+		} else if e.Kind == FlightRailDown && e.B != 0 {
+			elem = "  " + ElemName(e.B)
+		}
+		fmt.Fprintf(w, "  %-14s %-6d %-10s %-10s %-10s %8d %8d%s\n",
+			e.At.String(), e.Rank, e.Kind.String(), e.ID.String(), stage, e.A, e.B, elem)
 	}
 	if len(entries) == 0 {
 		fmt.Fprintln(w, "  (empty)")

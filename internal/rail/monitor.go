@@ -258,8 +258,18 @@ func (m *monitor) to(s State) {
 		m.net.deaths.Inc()
 		// Rail deaths go straight to the always-on flight ring: they are
 		// exactly the "what just happened" context a post-mortem dump needs.
+		// When the rail's fabric knows a dead element caused the escalation
+		// (a killed spine or leaf behind the retry storm), the incident
+		// carries the element's code in B so the dump blames the switch, not
+		// just the rail.
+		var elem int64
+		if eh, ok := m.net.rails[m.rail].(dev.ElementHealth); ok {
+			if _, code, dead := eh.DeadElement(m.net.eng.Now()); dead {
+				elem = code
+			}
+		}
 		m.net.rec.Flight(msgtrace.FlightRailDown, m.net.eng.Now(), -1, 0,
-			msgtrace.StageRail, int64(m.rail), 0)
+			msgtrace.StageRail, int64(m.rail), elem)
 	}
 	m.state = s
 	if s == Healthy {

@@ -292,6 +292,20 @@ func (n *Network) MinLinkLatency() sim.Time {
 	return min
 }
 
+// Diameter implements dev.DiameterReporter: a bonded message may ride any
+// member rail, so the watchdog must budget for the deepest one.
+func (n *Network) Diameter() int {
+	max := 1
+	for _, r := range n.rails {
+		if dr, ok := r.(dev.DiameterReporter); ok {
+			if d := dr.Diameter(); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
 // Tuning exposes the resolved knob set.
 func (n *Network) Tuning() Tuning { return n.tun }
 

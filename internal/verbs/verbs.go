@@ -192,6 +192,14 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		} else {
 			n.topo = topo
 			n.dynamic = cc.Routing == fabric.Adaptive
+			if cfg.Faults.HasElements() {
+				if err := topo.SetElementFaults(cfg.Faults, eng); err != nil {
+					n.cfgErr = fmt.Errorf("verbs: %w", err)
+				}
+				// Element deaths invalidate cached paths: every message must
+				// re-resolve its route so detection-time re-hashes take effect.
+				n.dynamic = true
+			}
 		}
 	} else if cfg.FatTree != nil {
 		ft := *cfg.FatTree
@@ -219,6 +227,10 @@ func New(eng *sim.Engine, cfg Config) *Network {
 			Rate:     units.BytesPerSecond(linkRateBps),
 		}))
 	}
+	if cfg.Faults.HasElements() && cfg.Clos == nil {
+		n.cfgErr = fmt.Errorf("verbs: fault plan schedules fabric-element deaths but the topology is not a Clos")
+	}
+	n.announceElementDeaths()
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("iba%d", i)
 		n.nodes = append(n.nodes, &nodeHW{
@@ -255,6 +267,49 @@ func (n *Network) ShmemBelow() int64 { return 16 * units.KB }
 
 // FaultPlan implements dev.FaultPlanner (nil when faults are off).
 func (n *Network) FaultPlan() *faults.Plan { return n.inj.Plan() }
+
+// Diameter implements dev.DiameterReporter.
+func (n *Network) Diameter() int {
+	if n.topo == nil {
+		return 1
+	}
+	return fabric.DiameterOf(n.topo)
+}
+
+// DeadElement implements dev.ElementHealth: forwarded to the fabric, which
+// knows which of the plan's element kills is in effect.
+func (n *Network) DeadElement(now sim.Time) (string, int64, bool) {
+	if eh, ok := n.topo.(interface {
+		DeadElement(sim.Time) (string, int64, bool)
+	}); ok {
+		return eh.DeadElement(now)
+	}
+	return "", 0, false
+}
+
+// announceElementDeaths schedules one FlightElementDown incident per
+// switch kill at its death instant, so a postmortem names the dead element
+// even when no packet happened to ride it. Node crashes are announced by
+// the MPI layer, which owns rank death; emitting them here too would
+// duplicate the incident on every rail of a bond.
+func (n *Network) announceElementDeaths() {
+	p := n.inj.Plan()
+	if !p.HasElements() || n.cfgErr != nil || n.cfg.Clos == nil {
+		return
+	}
+	uplinks := n.cfg.Clos.Uplinks()
+	for _, k := range p.SwitchKills {
+		code := msgtrace.ElemCode(msgtrace.ElemLeaf, k.Index)
+		if k.Level >= 1 {
+			code = msgtrace.ElemCode(msgtrace.ElemPlane, k.Index%uplinks)
+		}
+		at, repair := k.At, int64(k.RepairAt)
+		c := code
+		n.eng.At(at, func() {
+			n.rec.Flight(msgtrace.FlightElementDown, at, -1, 0, msgtrace.StageHop, c, repair)
+		})
+	}
+}
 
 // AttachTracer implements dev.TraceAttacher.
 func (n *Network) AttachTracer(rec *msgtrace.Recorder) { n.rec = rec }
@@ -579,20 +634,42 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	inj := ep.net.inj
 	if inj == nil || dst == ep.node {
 		// Healthy fabric, or HCA loopback that never touches the cable.
-		ep.wireAttempt(tid, rail, 0, dst, size, start, func(sim.Time) { deliver() })
+		ep.wireAttempt(ep.path(dst), tid, rail, 0, size, start, func(sim.Time) { deliver() })
 		return
 	}
 	start += inj.NICStall(ep.node, eng.Now()) + inj.BusDelay(ep.node, eng.Now())
-	// VAPI RC reliability: each attempt re-runs the full staged path (the
-	// retransmit re-occupies bus, HCA engines and link), the verdict lands
-	// at delivery time, and a lost or CRC-failed packet is retransmitted
-	// after an exponentially growing local-ack-timeout.
+	// VAPI RC reliability: each attempt re-resolves the route and re-runs
+	// the full staged path (the retransmit re-occupies bus, HCA engines and
+	// link), the verdict lands at delivery time, and a lost or CRC-failed
+	// packet is retransmitted after an exponentially growing
+	// local-ack-timeout. Under element faults the re-resolve is what heals:
+	// a retry after the detection delay re-hashes onto a surviving plane,
+	// while a detected dead end (crashed peer, partitioned fabric) fails
+	// typed immediately instead of burning the retry budget.
 	attempt := 1
 	var try func(at sim.Time)
 	try = func(at sim.Time) {
-		ep.wireAttempt(tid, rail, uint8(attempt-1), dst, size, at,
+		if inj.NodeDeadDetected(dst, at) || inj.NodeDeadDetected(ep.node, at) {
+			node := dst
+			if inj.NodeDeadDetected(ep.node, at) {
+				node = ep.node
+			}
+			ep.fail(&faults.NodeDownError{Node: node, At: at})
+			return
+		}
+		path := ep.path(dst)
+		fate := fabric.LastRouteOf(ep.net.topo)
+		if fate.State == fabric.RoutePartitioned {
+			ep.fail(&faults.PartitionError{Src: ep.node, Dst: dst, Element: fate.Element})
+			return
+		}
+		ep.wireAttempt(path, tid, rail, uint8(attempt-1), size, at,
 			func(end sim.Time) {
-				if inj.Verdict(ep.node, dst, end) == faults.Deliver {
+				v := faults.Drop // black-holed: structural loss, no PRNG draw
+				if fate.State != fabric.RouteBlackhole {
+					v = inj.VerdictExtra(ep.node, dst, end, fate.ExtraDrop)
+				}
+				if v == faults.Deliver {
 					deliver()
 					return
 				}
@@ -614,8 +691,10 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 
 // wireAttempt runs one transfer attempt over the staged path, recording the
 // attempt's wire span (and per-hop fabric detail) when the message is
-// sampled; unsampled messages take the plain zero-extra-cost path.
-func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst int, size int64, at sim.Time, done func(sim.Time)) {
+// sampled; unsampled messages take the plain zero-extra-cost path. The path
+// is resolved by the caller: retry loops must pair each attempt's route
+// with the fate annotation read at resolve time.
+func (ep *endpoint) wireAttempt(path []fabric.PathStage, tid msgtrace.ID, rail int8, attempt uint8, size int64, at sim.Time, done func(sim.Time)) {
 	rec := ep.net.rec
 	if rec.Sampled(tid) {
 		inner := done
@@ -623,11 +702,11 @@ func (ep *endpoint) wireAttempt(tid msgtrace.ID, rail int8, attempt uint8, dst i
 			rec.Span(tid, msgtrace.StageWire, ep.node, rail, attempt, -1, at, end, size)
 			inner(end)
 		}
-		fabric.TransferTraced(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at,
+		fabric.TransferTraced(ep.net.eng, path, size, fabric.ChunkFor(size), at,
 			rec, tid, ep.node, rail, attempt, done)
 		return
 	}
-	fabric.Transfer(ep.net.eng, ep.path(dst), size, fabric.ChunkFor(size), at, done)
+	fabric.Transfer(ep.net.eng, path, size, fabric.ChunkFor(size), at, done)
 }
 
 // Multicast implements dev.Multicaster when the platform enables hardware

@@ -145,6 +145,19 @@ type (
 	// RailDegrade is a FaultPlan entry black- or brown-outing one rail of a
 	// bonded platform for a window.
 	RailDegrade = faults.RailDegrade
+	// SwitchKill is a FaultPlan entry taking one switching element of a
+	// multi-stage fabric (a spine plane or a leaf) hard down, optionally
+	// repaired later. See docs/MODEL.md §19.
+	SwitchKill = faults.SwitchKill
+	// LinecardDegrade is a FaultPlan entry adding drop probability to every
+	// packet riding one fabric element for a window.
+	LinecardDegrade = faults.LinecardDegrade
+	// NodeCrash is a FaultPlan entry killing a host node: its NIC goes dark
+	// and every rank on it dies (permanently, even if the link is repaired).
+	NodeCrash = faults.NodeCrash
+	// RankFailedError reports a dead peer rank, either as Status.Err on a
+	// fault-tolerant operation or as the job-abort error otherwise.
+	RankFailedError = mpi.RankFailedError
 	// Routing selects a multi-stage fabric's path policy (Deterministic or
 	// Adaptive) for WithRouting.
 	Routing = fabric.Routing
@@ -190,6 +203,14 @@ var (
 	// ErrAllRailsDown marks a bonded channel whose every rail is dead; it
 	// also matches ErrRetryExhausted, since that is how the last rail died.
 	ErrAllRailsDown = rail.ErrAllRailsDown
+	// ErrPartitioned marks a structural reachability failure: every fabric
+	// plane between two endpoints is dead, or the peer's node crashed.
+	// Retrying cannot help; devices fail typed without burning retries.
+	ErrPartitioned = faults.ErrPartitioned
+	// ErrRankFailed marks an operation against a dead MPI rank; under
+	// WorldConfig.FaultTolerant it arrives in Status.Err instead of aborting
+	// the job. See docs/MODEL.md §19.
+	ErrRankFailed = mpi.ErrRankFailed
 )
 
 // DropPlan returns a fault plan with a uniform per-packet drop probability
@@ -246,6 +267,29 @@ func WithFaults(plan *FaultPlan) Option { return cluster.WithFaults(plan) }
 
 // WithSeed overrides the fault plan's seed.
 func WithSeed(seed uint64) Option { return cluster.WithSeed(seed) }
+
+// WithSwitchKills schedules fabric-element deaths (spine planes, leaves) on
+// a multi-stage platform, composing with any existing fault plan. See
+// docs/MODEL.md §19.
+func WithSwitchKills(kills ...SwitchKill) Option { return cluster.WithSwitchKills(kills...) }
+
+// WithLinecardDegrades schedules per-element extra drop windows on a
+// multi-stage platform.
+func WithLinecardDegrades(degrades ...LinecardDegrade) Option {
+	return cluster.WithLinecardDegrades(degrades...)
+}
+
+// WithNodeCrashes schedules host-node deaths: dark NICs plus dead MPI ranks.
+func WithNodeCrashes(crashes ...NodeCrash) Option { return cluster.WithNodeCrashes(crashes...) }
+
+// WithDetectDelay overrides how long the fabric and MPI layers take to
+// notice element and node deaths (default faults.DefaultDetectDelay).
+func WithDetectDelay(d Time) Option { return cluster.WithDetectDelay(d) }
+
+// WithFaultTolerant opts the world into ULFM-style rank-death notification:
+// operations against dead ranks complete with Status.Err instead of
+// aborting the job.
+func WithFaultTolerant() Option { return cluster.WithFaultTolerant() }
 
 // WithRailPolicy selects a bonded platform's traffic policy (Failover or
 // Stripe); it has no effect on solo platforms.

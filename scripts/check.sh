@@ -5,7 +5,7 @@
 # must produce byte-identical metrics snapshots, Chrome traces and blame
 # reports, and the fault-injected postmortem must name its blame.
 #
-# Usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]
+# Usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-chaos] [-seed N]
 #
 # The determinism smoke also re-renders the document at -shards 4 and
 # requires the same bytes as the serial engine (docs/MODEL.md §17).
@@ -20,8 +20,11 @@
 #            healthy and 1% drop) and its seeded-replay determinism check
 #   -rail    also run the multi-rail failover smoke (bonded pairs x
 #            {failover, stripe}) and its seeded-replay determinism check
-#   -seed N  fault-plan seed for -faults/-rail (default 0 = the committed
-#            seed)
+#   -chaos   also run the Clos chaos soak (kill storms x interconnects x
+#            routing policies — every scenario must land typed-or-success,
+#            never hang) with sharded and unsharded seeded-replay checks
+#   -seed N  fault-plan seed for -faults/-rail/-chaos (default 0 = the
+#            committed seed)
 #
 # The default (no flags) runs the full test suite with a 30m timeout; since
 # the experiment suite parallelizes across cores, this fits comfortably on
@@ -34,6 +37,7 @@ timeout=30m
 jobs=8
 faults=""
 railsmoke=""
+chaos=""
 seed=0
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -45,12 +49,13 @@ while [ $# -gt 0 ]; do
         ;;
     -faults) faults=1 ;;
     -rail) railsmoke=1 ;;
+    -chaos) chaos=1 ;;
     -seed)
         shift
         seed="$1"
         ;;
     *)
-        echo "usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-seed N]" >&2
+        echo "usage: check.sh [-short] [-full] [-j N] [-faults] [-rail] [-chaos] [-seed N]" >&2
         exit 2
         ;;
     esac
@@ -182,6 +187,38 @@ if [ -n "$railsmoke" ]; then
         exit 1
     }
     echo "rail smoke passed; seeded failover byte-identical across replays"
+fi
+
+if [ -n "$chaos" ]; then
+    echo "== Clos chaos soak =="
+    # Every interconnect under both routing policies must ride out the storm
+    # schedule (kill+repair, correlated kill storm, node crash, full
+    # partition), each scenario landing in its contracted outcome — the soak
+    # exits non-zero on a hang, a wrong outcome or an untyped error...
+    for net in IBA Myri QSN; do
+        for routing in deterministic adaptive; do
+            "$tmp/paperrepro" -chaos -faultnet "$net" -routing "$routing" \
+                -seed "$seed" >"$tmp/chaos_${net}_${routing}.txt"
+            if grep -q 'UNTYPED' "$tmp/chaos_${net}_${routing}.txt"; then
+                echo "FAIL: untyped failure in the $net/$routing storm schedule" >&2
+                exit 1
+            fi
+        done
+    done
+    # ...and the seeded storm must replay byte-identically, sharded or not.
+    "$tmp/paperrepro" -chaos -faultnet IBA -routing deterministic \
+        -seed "$seed" >"$tmp/chaos_replay.txt"
+    cmp "$tmp/chaos_IBA_deterministic.txt" "$tmp/chaos_replay.txt" || {
+        echo "FAIL: seeded chaos soak differs between identical replays" >&2
+        exit 1
+    }
+    "$tmp/paperrepro" -chaos -faultnet IBA -routing deterministic \
+        -seed "$seed" -shards 8 >"$tmp/chaos_s8.txt"
+    cmp "$tmp/chaos_IBA_deterministic.txt" "$tmp/chaos_s8.txt" || {
+        echo "FAIL: chaos soak differs between -shards 1 and -shards 8" >&2
+        exit 1
+    }
+    echo "chaos soak passed; seeded storms byte-identical, sharded and not"
 fi
 
 echo "OK"
