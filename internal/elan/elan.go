@@ -219,6 +219,11 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // Name implements dev.Network.
 func (n *Network) Name() string { return "QSN" }
 
+// Topology exposes the wired fabric topology — a debug surface for tests
+// that flip fabric-level verification knobs (e.g. fabric.(*Clos).SetRouteCache)
+// on a built network.
+func (n *Network) Topology() fabric.Topology { return n.topo }
+
 // Engine implements dev.Network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
@@ -413,21 +418,37 @@ type endpoint struct {
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 
-	// Per-destination path caches: the stage list has two variants because
-	// PIO-sized sends skip the sender bus DMA. Small worlds use the dense
-	// slices; large worlds fill the maps lazily so a 4k-node world costs
-	// each endpoint only the peers it actually speaks to, not O(N) slots.
-	// Adaptive routing bypasses all four — the up-link choice is per
-	// message.
-	pathsPIO   [][]fabric.PathStage // size <= pioMax
-	pathsDMA   [][]fabric.PathStage // size > pioMax
-	pathMapPIO map[int][]fabric.PathStage
-	pathMapDMA map[int][]fabric.PathStage
+	// peers holds the resolved per-destination send state. The stage list
+	// has two variants because PIO-sized sends skip the sender bus DMA; the
+	// block carries both plus their source-side stage counts. One dense
+	// slice of lazily materialized blocks — the hot path is a single index,
+	// no map lookups, and an endpoint in a 4k-node world only pays for the
+	// peers it actually speaks to. Adaptive routing bypasses the cache:
+	// the up-link choice is per message.
+	peers []*peerState
 }
 
-// densePathNodes is the world size up to which per-destination path caches
-// stay dense arrays; above it they switch to lazy maps.
-const densePathNodes = 128
+// peerState is one destination's resolved send state, per PIO/DMA variant.
+type peerState struct {
+	pathPIO []fabric.PathStage // size <= pioMax
+	pathDMA []fabric.PathStage // size > pioMax
+	srcPIO  int
+	srcDMA  int
+}
+
+// peer returns dst's state block, materializing it (and the index slice)
+// on first contact.
+func (ep *endpoint) peer(dst int) *peerState {
+	if ep.peers == nil {
+		ep.peers = make([]*peerState, len(ep.net.nodes))
+	}
+	p := ep.peers[dst]
+	if p == nil {
+		p = &peerState{}
+		ep.peers[dst] = p
+	}
+	return p
+}
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -539,40 +560,44 @@ func (l elanStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 }
 
 // path returns the staged path to dst, assembled once per (destination,
-// PIO-or-DMA) variant and cached — except under adaptive routing, where the
-// fabric picks the up-link per message and the path must be rebuilt.
+// PIO-or-DMA) variant and cached in the peer block — except under adaptive
+// routing, where the fabric picks the up-link per message and the path must
+// be rebuilt.
 func (ep *endpoint) path(dst int, size int64) []fabric.PathStage {
-	if ep.net.dynamic && dst != ep.node {
-		return ep.buildPath(dst, size)
-	}
-	if len(ep.net.nodes) <= densePathNodes {
-		cache := &ep.pathsPIO
-		if size > pioMax {
-			cache = &ep.pathsDMA
-		}
-		if *cache == nil {
-			*cache = make([][]fabric.PathStage, len(ep.net.nodes))
-		}
-		if p := (*cache)[dst]; p != nil {
-			return p
-		}
-		p := ep.buildPath(dst, size)
-		(*cache)[dst] = p
-		return p
-	}
-	cache := &ep.pathMapPIO
-	if size > pioMax {
-		cache = &ep.pathMapDMA
-	}
-	if p, ok := (*cache)[dst]; ok {
-		return p
-	}
-	if *cache == nil {
-		*cache = make(map[int][]fabric.PathStage)
-	}
-	p := ep.buildPath(dst, size)
-	(*cache)[dst] = p
+	p, _ := ep.resolved(dst, size)
 	return p
+}
+
+// resolved returns the staged path to dst for the size's PIO/DMA variant
+// and its source-side stage count — the NIC thread processor, send DMA and
+// link up (plus the sender bus for DMA-sized payloads, and whatever the
+// topology keeps on the source leaf; TransferCut runs those on the source's
+// domain engine). Both are cached in the peer block; adaptive routing
+// rebuilds the path per message.
+func (ep *endpoint) resolved(dst int, size int64) ([]fabric.PathStage, int) {
+	srcN := func() int {
+		n := 3
+		if size > pioMax {
+			n++
+		}
+		return n + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+	}
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst, size), srcN()
+	}
+	p := ep.peer(dst)
+	if size > pioMax {
+		if p.pathDMA == nil {
+			p.pathDMA = ep.buildPath(dst, size)
+			p.srcDMA = srcN()
+		}
+		return p.pathDMA, p.srcDMA
+	}
+	if p.pathPIO == nil {
+		p.pathPIO = ep.buildPath(dst, size)
+		p.srcPIO = srcN()
+	}
+	return p.pathPIO, p.srcPIO
 }
 
 // buildPath assembles the staged path to dst. Small sends skip the sender-
@@ -609,18 +634,6 @@ func (ep *endpoint) buildPath(dst int, size int64) []fabric.PathStage {
 	)
 }
 
-// srcStages is the count of source-side stages of a cross-node path — the
-// NIC thread processor, send DMA and link up (plus the sender bus for
-// DMA-sized payloads, and whatever the topology keeps on the source leaf).
-// TransferCut runs them on the source's domain engine.
-func (ep *endpoint) srcStages(dst int, size int64) int {
-	n := 3
-	if size > pioMax {
-		n++
-	}
-	return n + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
-}
-
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	if ep.net.scale {
 		// Domain mode: fault-free by construction (activation refuses fault
@@ -632,7 +645,8 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 		eng := ep.net.engineFor(ep.node)
 		dstEng := ep.net.engineFor(dst)
 		ep.outstanding++
-		fabric.TransferCut(eng, dstEng, ep.path(dst, size), ep.srcStages(dst, size),
+		path, srcN := ep.resolved(dst, size)
+		fabric.TransferCut(eng, dstEng, path, srcN,
 			size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) {
 				if dst == ep.node {
 					ep.outstanding--

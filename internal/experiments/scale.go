@@ -45,7 +45,7 @@ func (r *Runner) ExtScaleMemory() report.Figure {
 		}
 		f.Curves = append(f.Curves, c)
 	}
-	f.Notes = "static VAPI RC state grows per peer; GM per-port state is smaller; Elan and on-demand IBA stay near-flat"
+	f.Notes = "VAPI RC state grows per established connection; GM per-port state is smaller; Elan and on-demand IBA stay near-flat. Scale worlds account established peers (MODEL.md §18/§20), so ring traffic holds two connections' state per rank, not all-pairs"
 	return f
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"testing"
 
 	"mpinet/internal/cluster"
@@ -12,16 +13,22 @@ import (
 // BenchmarkScaleWorld runs a 1024-rank world on the 3-level Clos with the
 // neighbor-exchange pattern that dominates the NAS kernels, and reports the
 // two numbers the scale-out work is judged on: event throughput with node
-// domains active, and per-rank endpoint memory. scripts/bench.sh -engine
-// stamps both into BENCH_engine.json; CI's scale-smoke job runs a shorter
-// variant. Sub-benchmarks cover the three interconnects so the per-rank
-// bytes record the paper's Figure 13 ordering at 1k ranks.
+// domains active, and per-rank endpoint memory. It also stamps the
+// simulator's own footprint — peak live heap across build+run, read with
+// runtime.ReadMemStats after each iteration — so a regression that trades
+// model memory for host memory is visible in the same record.
+// scripts/bench.sh -engine stamps all of it into BENCH_engine.json; CI's
+// scale-smoke job runs a shorter variant. Sub-benchmarks cover the three
+// interconnects so the per-rank bytes record the paper's Figure 13 ordering
+// at 1k ranks.
 func BenchmarkScaleWorld(b *testing.B) {
 	const ranks = 1024
 	for _, plat := range []cluster.Platform{cluster.IBA(), cluster.Myri(), cluster.QSN()} {
 		p := plat.With(cluster.Clos(3, 24, 2))
 		b.Run(plat.Name, func(b *testing.B) {
 			var perRank int64
+			var peakHeap uint64
+			var ms runtime.MemStats
 			start := sim.TotalDispatched()
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -37,6 +44,12 @@ func BenchmarkScaleWorld(b *testing.B) {
 					b.Fatal(err)
 				}
 				perRank = w.MemoryUsage(0)
+				// Live heap with the world still reachable: build + run
+				// footprint, before the iteration's world is collected.
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
 			}
 			b.StopTimer()
 			events := sim.TotalDispatched() - start
@@ -45,6 +58,7 @@ func BenchmarkScaleWorld(b *testing.B) {
 			}
 			b.ReportMetric(float64(perRank), "bytes/rank")
 			b.ReportMetric(float64(perRank)/float64(units.MB), "MB/rank")
+			b.ReportMetric(float64(peakHeap), "heap-bytes")
 		})
 	}
 }

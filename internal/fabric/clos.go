@@ -127,7 +127,33 @@ type Clos struct {
 	// Between routes around detected element deaths and annotates each route
 	// with its fate.
 	health *elementHealth
+	// routes is the deterministic route cache: routes[leaf][dst] memoizes the
+	// stage pair and fate of any (src on leaf, dst) route, keyed by the
+	// health epoch (always 0 on a healthy fabric). Rows are lazily allocated
+	// and written only under their leaf — the same leaf-locality the adaptive
+	// counters rely on — so the leaf-aligned shard partition gives each row a
+	// single writing engine. Adaptive routing with more than one up-link is
+	// load-dependent and bypasses the cache entirely.
+	routes [][]closRoute
+	// cacheOff disables the route cache (SetRouteCache): a debug knob for
+	// verifying cached and uncached runs are byte-identical.
+	cacheOff bool
 }
+
+// closRoute is one route-cache entry: the stages and fate computed for a
+// (source leaf, dst) pair during one health epoch.
+type closRoute struct {
+	stages []PathStage
+	info   RouteInfo
+	epoch  uint32
+	valid  bool
+}
+
+// SetRouteCache enables or disables the deterministic route cache. The cache
+// is semantically invisible — fault transitions bump the health epoch and
+// re-resolve — so the knob exists only for tests that prove cached and
+// uncached runs byte-identical.
+func (t *Clos) SetRouteCache(on bool) { t.cacheOff = !on }
 
 // NewClos wires a Clos fabric with capacity for at least nodes hosts. The
 // configuration must Validate; capacity overflow returns an error naming
@@ -154,6 +180,7 @@ func NewClos(name string, cfg ClosConfig, nodes int) (*Clos, error) {
 		hostsPerLeaf: hpl,
 		uplinks:      cfg.Uplinks(),
 		counter:      make([]uint64, leaves),
+		routes:       make([][]closRoute, leaves),
 	}
 	t.up = make([][]*sim.Pipe, leaves)
 	t.down = make([][]*sim.Pipe, leaves)
@@ -227,8 +254,44 @@ func (t *Clos) pickUplink(sl, dl, dst int) int {
 // Between implements Topology: same-leaf traffic crosses one element;
 // cross-leaf traffic takes its leaf up-link, the pure-latency climb over
 // the upper levels, and the destination leaf's matching down-link.
+//
+// Deterministic routes are served from the per-(leaf, dst) cache: within one
+// health epoch the plane choice, stages and fate of such a route are pure
+// functions of the pair, so re-resolution (and its per-message stage-slice
+// allocation) is paid once per epoch instead of once per message. The fate
+// annotation is replayed from the entry so LastRoute behaves identically on
+// hits and misses.
 func (t *Clos) Between(src, dst int) ([]PathStage, sim.Time) {
 	sl, dl := t.LeafOf(src), t.LeafOf(dst)
+	if t.cacheOff || (t.cfg.Routing == Adaptive && t.uplinks > 1) {
+		return t.routeOnce(src, dst, sl, dl)
+	}
+	var epoch uint32
+	if t.health != nil {
+		epoch = t.health.advance()
+	}
+	row := t.routes[sl]
+	if row == nil {
+		row = make([]closRoute, t.Nodes())
+		t.routes[sl] = row
+	}
+	e := &row[dst]
+	if !e.valid || e.epoch != epoch {
+		e.stages, _ = t.routeOnce(src, dst, sl, dl)
+		if t.health != nil {
+			e.info = t.health.last
+		}
+		e.valid, e.epoch = true, epoch
+	}
+	if t.health != nil {
+		t.health.last = e.info
+	}
+	return e.stages, t.cfg.Crossing
+}
+
+// routeOnce resolves a route without consulting the cache: the faulty path
+// when element faults are armed, the healthy geometry otherwise.
+func (t *Clos) routeOnce(src, dst, sl, dl int) ([]PathStage, sim.Time) {
 	if t.health != nil {
 		return t.betweenFaulty(src, dst, sl, dl)
 	}

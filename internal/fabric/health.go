@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"slices"
 
 	"mpinet/internal/faults"
 	"mpinet/internal/msgtrace"
@@ -80,6 +81,26 @@ type elementHealth struct {
 	detect   sim.Time
 	eng      *sim.Engine
 	last     RouteInfo
+	// transitions is the sorted set of instants at which any armed fault
+	// changes observable routing state (death, detection, repair, degrade
+	// start or end); epoch counts how many lie in the past. Between's route
+	// cache keys entries by the epoch: within one epoch every route is a pure
+	// function of (source leaf, dst), so advancing the epoch is the entire
+	// invalidation protocol. Lazy advance on the engine's now is sound
+	// because element faults force classic single-engine mode, where Between
+	// observes a monotonic clock.
+	transitions []sim.Time
+	epoch       uint32
+}
+
+// advance moves the fault epoch up to the engine's current time and returns
+// it. O(1) amortized: each transition instant is consumed once per run.
+func (h *elementHealth) advance() uint32 {
+	now := h.eng.Now()
+	for int(h.epoch) < len(h.transitions) && now >= h.transitions[h.epoch] {
+		h.epoch++
+	}
+	return h.epoch
 }
 
 // SetElementFaults arms the topology's failure-domain rendering from a
@@ -98,12 +119,26 @@ func (t *Clos) SetElementFaults(p *faults.Plan, eng *sim.Engine) error {
 			return fmt.Errorf("switch kill at leaf %d: fabric has %d leaves", k.Index, t.leaves)
 		}
 	}
-	t.health = &elementHealth{
+	h := &elementHealth{
 		kills:    append([]faults.SwitchKill(nil), p.SwitchKills...),
 		degrades: append([]faults.LinecardDegrade(nil), p.LinecardDegrades...),
 		detect:   p.DetectionDelay(),
 		eng:      eng,
 	}
+	// Precompute every instant routing behaviour can change. Superfluous
+	// entries (a detection instant past the repair, duplicates) only cost a
+	// spurious cache refresh, never correctness.
+	for _, k := range h.kills {
+		h.transitions = append(h.transitions, k.At, k.At+h.detect)
+		if k.RepairAt > 0 {
+			h.transitions = append(h.transitions, k.RepairAt)
+		}
+	}
+	for _, d := range h.degrades {
+		h.transitions = append(h.transitions, d.From, d.Until)
+	}
+	slices.Sort(h.transitions)
+	t.health = h
 	return nil
 }
 

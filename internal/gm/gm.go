@@ -240,6 +240,11 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // Name implements dev.Network.
 func (n *Network) Name() string { return "Myri" }
 
+// Topology exposes the wired fabric topology — a debug surface for tests
+// that flip fabric-level verification knobs (e.g. fabric.(*Clos).SetRouteCache)
+// on a built network.
+func (n *Network) Topology() fabric.Topology { return n.topo }
+
 // Engine implements dev.Network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
@@ -435,19 +440,35 @@ type endpoint struct {
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 
-	// paths caches the assembled per-destination staged path: the route
-	// through LANai, DMA engines and the fabric is static per (src, dst)
-	// under deterministic routing. Small worlds use the dense slice; large
-	// worlds fill pathMap lazily so a 4k-node world costs each endpoint only
-	// the peers it actually speaks to, not O(N) slots. Adaptive routing
-	// bypasses both — the up-link choice is per message.
-	paths   [][]fabric.PathStage
-	pathMap map[int][]fabric.PathStage
+	// peers holds the resolved per-destination send state: the staged path
+	// through LANai, DMA engines and the fabric (static per (src, dst)
+	// under deterministic routing) plus its source-side stage count. One
+	// dense slice of lazily materialized blocks — the hot path is a single
+	// index, no map lookups, and an endpoint in a 4k-node world only pays
+	// for the peers it actually speaks to. Adaptive routing bypasses the
+	// cache: the up-link choice is per message.
+	peers []*peerState
 }
 
-// densePathNodes is the world size up to which per-destination path caches
-// stay dense arrays; above it they switch to lazy maps.
-const densePathNodes = 128
+// peerState is one destination's resolved send state.
+type peerState struct {
+	path      []fabric.PathStage
+	srcStages int
+}
+
+// peer returns dst's state block, materializing it (and the index slice)
+// on first contact.
+func (ep *endpoint) peer(dst int) *peerState {
+	if ep.peers == nil {
+		ep.peers = make([]*peerState, len(ep.net.nodes))
+	}
+	p := ep.peers[dst]
+	if p == nil {
+		p = &peerState{}
+		ep.peers[dst] = p
+	}
+	return p
+}
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -517,32 +538,28 @@ func (l lanaiStage) Send(now sim.Time, n int64) (start, end sim.Time) {
 }
 
 // path returns the staged path to dst, assembled once per destination and
-// cached — except under adaptive routing, where the fabric picks the
-// up-link per message and the path must be rebuilt.
+// cached in the peer block — except under adaptive routing, where the
+// fabric picks the up-link per message and the path must be rebuilt.
 func (ep *endpoint) path(dst int) []fabric.PathStage {
-	if ep.net.dynamic && dst != ep.node {
-		return ep.buildPath(dst)
-	}
-	if len(ep.net.nodes) <= densePathNodes {
-		if ep.paths == nil {
-			ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
-		}
-		if p := ep.paths[dst]; p != nil {
-			return p
-		}
-		p := ep.buildPath(dst)
-		ep.paths[dst] = p
-		return p
-	}
-	if p, ok := ep.pathMap[dst]; ok {
-		return p
-	}
-	if ep.pathMap == nil {
-		ep.pathMap = make(map[int][]fabric.PathStage)
-	}
-	p := ep.buildPath(dst)
-	ep.pathMap[dst] = p
+	p, _ := ep.resolved(dst)
 	return p
+}
+
+// resolved returns the staged path to dst and its source-side stage count —
+// bus, LANai, send-DMA and link up, plus whatever the topology keeps on the
+// source leaf (TransferCut runs those on the source's domain engine). Both
+// are cached in the peer block; adaptive routing rebuilds the path per
+// message.
+func (ep *endpoint) resolved(dst int) ([]fabric.PathStage, int) {
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst), 4 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+	}
+	p := ep.peer(dst)
+	if p.path == nil {
+		p.path = ep.buildPath(dst)
+		p.srcStages = 4 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+	}
+	return p.path, p.srcStages
 }
 
 // buildPath assembles the staged path to dst. The LANai engine appears once
@@ -576,13 +593,6 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 		fabric.PathStage{Stage: d.rdma},
 		fabric.PathStage{Stage: d.bus},
 	)
-}
-
-// srcStages is the count of source-side stages of a cross-node path — bus,
-// LANai, send-DMA and link up, plus whatever the topology keeps on the
-// source leaf. TransferCut runs them on the source's domain engine.
-func (ep *endpoint) srcStages(dst int) int {
-	return 4 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
 }
 
 func (ep *endpoint) transfer(dst int, size int64, bulk bool, deliver func()) {
@@ -714,7 +724,8 @@ func (ep *endpoint) scaleTransfer(dst int, size int64, bulk bool, deliver func()
 			})
 		}
 	}
-	fabric.TransferCut(eng, dstEng, ep.path(dst), ep.srcStages(dst),
+	path, srcN := ep.resolved(dst)
+	fabric.TransferCut(eng, dstEng, path, srcN,
 		size, fabric.ChunkFor(size), eng.Now(), func(sim.Time) {
 			if bulk {
 				dstHW.outRx -= size

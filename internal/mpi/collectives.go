@@ -200,7 +200,7 @@ func (r *Rank) Alltoall(sendBuf, recvBuf memreg.Buf) {
 		panic("mpi: Alltoall buffers must divide evenly by world size")
 	}
 	block := sendBuf.Size / p
-	counts := make([]int64, p)
+	counts := r.ps.int64Scratch(&r.ps.cntScratch, int(p))
 	for i := range counts {
 		counts[i] = block
 	}
@@ -227,15 +227,18 @@ func (r *Rank) Alltoallv(sendBuf, recvBuf memreg.Buf, sendCounts, recvCounts []i
 func (r *Rank) alltoallvBody(sendBuf, recvBuf memreg.Buf, sendCounts, recvCounts []int64) {
 	p := r.Size()
 	me := r.Rank()
-	sendOff := make([]int64, p)
-	recvOff := make([]int64, p)
+	// Offsets and the request list live in per-rank scratch: collectives are
+	// not reentrant per rank, and the basic alltoall posts 2(p-1) requests
+	// per call — a real allocation stream at a thousand ranks.
+	off := r.ps.int64Scratch(&r.ps.offScratch, 2*p)
+	sendOff, recvOff := off[:p], off[p:]
 	var so, ro int64
 	for i := 0; i < p; i++ {
 		sendOff[i], recvOff[i] = so, ro
 		so += sendCounts[i]
 		ro += recvCounts[i]
 	}
-	var reqs []*Request
+	reqs := r.ps.reqScratch[:0]
 	for i := 1; i < p; i++ {
 		src := (me - i + p) % p
 		if recvCounts[src] > 0 {
@@ -252,9 +255,19 @@ func (r *Rank) alltoallvBody(sendBuf, recvBuf memreg.Buf, sendCounts, recvCounts
 	if sendCounts[me] > 0 {
 		r.ps.busy(r.p, r.ps.ep.CopyTime(sendCounts[me]))
 	}
+	r.ps.reqScratch = reqs[:0]
 	for _, req := range reqs {
 		r.waitOne(req)
 	}
+}
+
+// int64Scratch returns a length-n view of a reusable per-rank slice,
+// growing the backing array only when a larger collective comes along.
+func (ps *procState) int64Scratch(s *[]int64, n int) []int64 {
+	if cap(*s) < n {
+		*s = make([]int64, n)
+	}
+	return (*s)[:n]
 }
 
 // Allgather gathers equal-size blocks from all ranks to all ranks over a

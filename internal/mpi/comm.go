@@ -22,13 +22,20 @@ type Comm struct {
 	me    int   // my rank within this communicator
 }
 
-// CommWorld returns this rank's view of MPI_COMM_WORLD.
+// CommWorld returns this rank's view of MPI_COMM_WORLD. The view is cached
+// per rank over the world's shared rank list: every collective resolves it,
+// and rebuilding a world-size []int per call was the single largest
+// allocation site in 1k-rank worlds. The list is read-only (Split reads it,
+// Dup copies it), so sharing one across all ranks is safe even when ranks
+// run on different shards.
 func (r *Rank) CommWorld() *Comm {
-	ranks := make([]int, r.Size())
-	for i := range ranks {
-		ranks[i] = i
+	ps := r.ps
+	if c := ps.worldComm; c != nil && c.r == r {
+		return c
 	}
-	return &Comm{r: r, id: commWorldID, ranks: ranks, me: r.Rank()}
+	c := &Comm{r: r, id: commWorldID, ranks: ps.world.worldRanks, me: ps.rank}
+	ps.worldComm = c
+	return c
 }
 
 // Rank returns this process's rank within the communicator.
@@ -51,12 +58,15 @@ func (c *Comm) Send(buf memreg.Buf, dst, tag int) {
 	ps := c.r.ps
 	ps.poll(c.r.p)
 	req := ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, false)
+	req.pooled = true
 	c.r.waitOne(req)
 }
 
 // Recv is a blocking receive from a communicator rank (or AnySource).
 func (c *Comm) Recv(buf memreg.Buf, src, tag int) Status {
-	st := c.r.waitOne(c.Irecv(buf, src, tag))
+	req := c.Irecv(buf, src, tag)
+	req.pooled = true // never escapes this call
+	st := c.r.waitOne(req)
 	st.Source = c.commRankOf(st.Source)
 	return st
 }
@@ -111,25 +121,31 @@ func (c *Comm) sendInternal(buf memreg.Buf, dst, tag int) {
 	ps := c.r.ps
 	ps.poll(c.r.p)
 	req := ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, false)
+	req.pooled = true
 	c.r.waitOne(req)
 }
 
 func (c *Comm) isendInternal(buf memreg.Buf, dst, tag int) *Request {
 	ps := c.r.ps
 	ps.poll(c.r.p)
-	return ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, true)
+	req := ps.startSend(c.r.p, buf, c.id, c.WorldRank(dst), tag, true)
+	req.pooled = true // collectives always waitOne their internal requests
+	return req
 }
 
 func (c *Comm) irecvInternal(buf memreg.Buf, src, tag int) *Request {
 	ps := c.r.ps
 	ps.poll(c.r.p)
-	return ps.startRecv(c.r.p, buf, c.id, c.WorldRank(src), tag, true)
+	req := ps.startRecv(c.r.p, buf, c.id, c.WorldRank(src), tag, true)
+	req.pooled = true
+	return req
 }
 
 func (c *Comm) recvInternal(buf memreg.Buf, src, tag int) {
 	ps := c.r.ps
 	ps.poll(c.r.p)
 	req := ps.startRecv(c.r.p, buf, c.id, c.WorldRank(src), tag, false)
+	req.pooled = true
 	c.r.waitOne(req)
 }
 
@@ -143,8 +159,7 @@ func (c *Comm) recvInternal(buf memreg.Buf, src, tag int) {
 func (c *Comm) Split(color, key int) *Comm {
 	p := c.Size()
 	ps := c.r.ps
-	gen := ps.splitGen[c.id]
-	ps.splitGen[c.id] = gen + 1
+	gen := ps.nextSplitGen(c.id)
 	ps.world.postSplit(c.id, gen, c.me, color, key)
 
 	// Agreement traffic: ring allgather of 8-byte entries over the parent.
@@ -211,8 +226,7 @@ func (c *Comm) Dup() *Comm {
 		c.sendInternal(entry, next, tagSplit)
 		c.r.waitOne(rr)
 	})
-	gen := c.r.ps.splitGen[c.id]
-	c.r.ps.splitGen[c.id] = gen + 1
+	gen := c.r.ps.nextSplitGen(c.id)
 	ranks := append([]int(nil), c.ranks...)
 	id := c.r.ps.world.commID(append(append([]int(nil), ranks...), -1-gen))
 	return &Comm{r: c.r, id: id, ranks: ranks, me: c.me}
@@ -220,6 +234,19 @@ func (c *Comm) Dup() *Comm {
 
 // tagSplit is the internal tag for Split/Dup agreement traffic.
 const tagSplit = -17
+
+// nextSplitGen returns and advances this rank's Split/Dup generation for a
+// parent communicator. The map materializes on first use: most ranks never
+// split, and a thousand pre-allocated empty maps were measurable in world
+// construction.
+func (ps *procState) nextSplitGen(parent int) int {
+	if ps.splitGen == nil {
+		ps.splitGen = make(map[int]int)
+	}
+	gen := ps.splitGen[parent]
+	ps.splitGen[parent] = gen + 1
+	return gen
+}
 
 // commID returns a stable context id for a rank list, identical across all
 // members (the simulation analogue of context-id agreement). Guarded by

@@ -57,10 +57,35 @@ type procState struct {
 	mcSeen  int64
 	mcTaken int64
 	// splitGen counts Split/Dup invocations per parent communicator so
-	// agreement boards never collide across generations.
+	// agreement boards never collide across generations. Nil until the first
+	// Split/Dup: most ranks never split, and at a thousand ranks the empty
+	// maps were a measurable slice of world construction.
 	splitGen map[int]int
 	// collScratch is a reusable buffer for collective intermediates.
 	collScratch memreg.Buf
+	// worldComm caches this rank's MPI_COMM_WORLD view. Every world
+	// collective resolves it, and rebuilding the world rank list per call
+	// was the single largest allocation site in 1k-rank worlds.
+	worldComm *Comm
+	// reqFree recycles Request records of blocking operations (the request
+	// never escapes the caller, so waitOne can return it to the pool);
+	// reqAllocs counts pool misses for the zero-alloc gates.
+	reqFree   []*Request
+	reqAllocs int
+	// Reusable collective scratch (offsets, counts, request lists).
+	// Collectives are not reentrant per rank, so one set suffices.
+	offScratch []int64
+	cntScratch []int64
+	reqScratch []*Request
+	// nicPeers is the set of cross-node ranks this rank has exchanged NIC
+	// traffic with (either direction), as a bitset over world ranks;
+	// nicPeerCount is its population. Tracked only in scale mode, where
+	// MemoryUsage accounts established connections rather than the static
+	// full-world formula (see World.MemoryUsage). Send-side bits are set on
+	// the sender's engine, receive-side bits on this rank's own engine at
+	// arrival, so the set is never touched cross-shard.
+	nicPeers     []uint64
+	nicPeerCount int
 
 	// Observability handles (all nil-safe no-ops when metrics are off).
 	met         *metrics.Registry
@@ -69,6 +94,23 @@ type procState struct {
 	postedHW    *metrics.Gauge
 	reqHist     *metrics.SizeHist
 	eagerCopies *metrics.Counter
+}
+
+// markNICPeer records peer as a rank this one holds NIC connection state
+// toward (scale mode only — classic worlds keep the paper's static
+// accounting). Cheap enough for every send/arrival: one bitset probe.
+func (ps *procState) markNICPeer(peer int) {
+	if !ps.world.scale {
+		return
+	}
+	if ps.nicPeers == nil {
+		ps.nicPeers = make([]uint64, (ps.world.cfg.Procs+63)/64)
+	}
+	bit := uint64(1) << (uint(peer) & 63)
+	if ps.nicPeers[peer>>6]&bit == 0 {
+		ps.nicPeers[peer>>6] |= bit
+		ps.nicPeerCount++
+	}
 }
 
 // bindMetrics resolves this rank's instrument handles. Safe with m == nil:

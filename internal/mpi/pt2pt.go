@@ -44,7 +44,8 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 		ps.prof.Send(buf, sameNode, nonblocking)
 	}
 
-	req := &Request{
+	req := ps.newRequest()
+	*req = Request{
 		ps:     ps,
 		isSend: true,
 		buf:    buf,
@@ -60,10 +61,15 @@ func (ps *procState) startSend(p *sim.Proc, buf memreg.Buf, comm, dst, tag int, 
 	ps.record(trace.EvSendStart, dst, tag, comm, buf.Size)
 
 	rec := ps.world.rec
-	switch {
-	case sameNode && buf.Size < ps.world.shmemBelow():
+	if sameNode && buf.Size < ps.world.shmemBelow() {
 		rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindShmem, req.born)
 		ps.shmSend(p, req, dstPS)
+		return req
+	}
+	if !sameNode {
+		ps.markNICPeer(dst)
+	}
+	switch {
 	case buf.Size <= ps.ep.EagerThreshold():
 		rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindEager, req.born)
 		ps.eagerSend(p, req, dstPS)
@@ -150,6 +156,11 @@ func (ps *procState) rndvSend(p *sim.Proc, req *Request, dstPS *procState) {
 // time may be charged here). On NIC-matching devices (Tports) the match
 // itself takes NIC time proportional to the pending-entry count.
 func (ps *procState) arrive(m *inMsg) {
+	if m.ch == chNet && ps.world.procs[m.src].node != ps.node {
+		// Receive side of a cross-node connection: account it here, on this
+		// rank's own engine, never from the sender's shard.
+		ps.markNICPeer(m.src)
+	}
 	if nm, ok := ps.ep.(dev.NICMatcher); ok && m.ch == chNet {
 		pending := len(ps.posted) + len(ps.unexp)
 		if rec := ps.world.rec; rec.Sampled(m.tid) {
@@ -332,7 +343,8 @@ func (ps *procState) startRecv(p *sim.Proc, buf memreg.Buf, comm, src, tag int, 
 		ps.prof.Recv(buf, sameNode, nonblocking)
 	}
 
-	r := &Request{
+	r := ps.newRequest()
+	*r = Request{
 		ps:   ps,
 		buf:  buf,
 		comm: comm,

@@ -47,6 +47,7 @@ func (r *Rank) HostBusy() sim.Time { return r.ps.hostBusy }
 // Send performs a blocking standard-mode send.
 func (r *Rank) Send(buf memreg.Buf, dst, tag int) {
 	req := r.ps.isendImpl(r.p, buf, dst, tag, false)
+	req.pooled = true
 	r.waitOne(req)
 }
 
@@ -66,12 +67,16 @@ func (r *Rank) Ssend(buf memreg.Buf, dst, tag int) {
 	if !ps.quiet {
 		ps.prof.Send(buf, dstPS.node == ps.node, false)
 	}
-	req := &Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.eng.Now()}
+	req := ps.newRequest()
+	*req = Request{ps: ps, isSend: true, buf: buf, comm: commWorldID, peer: dst, tag: tag, size: buf.Size, born: ps.eng.Now(), pooled: true}
 	ps.sendSeq++
 	req.seq = ps.sendSeq
 	req.tid = msgtrace.MakeID(ps.rank, req.seq)
 	ps.record(trace.EvSendStart, dst, tag, commWorldID, buf.Size)
 	ps.world.rec.Begin(req.tid, int32(ps.rank), int32(dst), int32(tag), req.size, msgtrace.KindRndv, req.born)
+	if dstPS.node != ps.node {
+		ps.markNICPeer(dst)
+	}
 	ps.rndvSend(r.p, req, dstPS)
 	r.waitOne(req)
 }
@@ -102,6 +107,7 @@ func (r *Rank) Bsend(buf memreg.Buf, dst, tag int) {
 // Recv performs a blocking receive. src may be AnySource, tag may be AnyTag.
 func (r *Rank) Recv(buf memreg.Buf, src, tag int) Status {
 	req := r.ps.irecvImpl(r.p, buf, src, tag, false)
+	req.pooled = true
 	return r.waitOne(req)
 }
 
@@ -166,7 +172,9 @@ func (r *Rank) Waitany(reqs []*Request) (int, Status) {
 // Sendrecv performs the blocking exchange (MPI_Sendrecv).
 func (r *Rank) Sendrecv(sendBuf memreg.Buf, dst, sendTag int, recvBuf memreg.Buf, src, recvTag int) Status {
 	rr := r.ps.irecvImpl(r.p, recvBuf, src, recvTag, false)
+	rr.pooled = true
 	sr := r.ps.isendImpl(r.p, sendBuf, dst, sendTag, false)
+	sr.pooled = true
 	r.waitOne(sr)
 	return r.waitOne(rr)
 }
@@ -195,7 +203,11 @@ func (r *Rank) waitOne(req *Request) Status {
 		}
 		return req.done
 	})
-	return req.status
+	st := req.status
+	if req.pooled {
+		r.ps.releaseReq(req)
+	}
+	return st
 }
 
 // sendInternal/recvInternal are used by collectives: they bypass user-tag
@@ -203,21 +215,27 @@ func (r *Rank) waitOne(req *Request) Status {
 func (r *Rank) sendInternal(buf memreg.Buf, dst, tag int) {
 	r.ps.poll(r.p)
 	req := r.ps.startSend(r.p, buf, commWorldID, dst, tag, false)
+	req.pooled = true
 	r.waitOne(req)
 }
 
 func (r *Rank) isendInternal(buf memreg.Buf, dst, tag int) *Request {
 	r.ps.poll(r.p)
-	return r.ps.startSend(r.p, buf, commWorldID, dst, tag, true)
+	req := r.ps.startSend(r.p, buf, commWorldID, dst, tag, true)
+	req.pooled = true // collectives always waitOne their internal requests
+	return req
 }
 
 func (r *Rank) irecvInternal(buf memreg.Buf, src, tag int) *Request {
 	r.ps.poll(r.p)
-	return r.ps.startRecv(r.p, buf, commWorldID, src, tag, true)
+	req := r.ps.startRecv(r.p, buf, commWorldID, src, tag, true)
+	req.pooled = true
+	return req
 }
 
 func (r *Rank) recvInternal(buf memreg.Buf, src, tag int) {
 	r.ps.poll(r.p)
 	req := r.ps.startRecv(r.p, buf, commWorldID, src, tag, false)
+	req.pooled = true
 	r.waitOne(req)
 }

@@ -36,9 +36,34 @@ type Request struct {
 	hsStart sim.Time    // rendezvous sends: when the RTS left, for the handshake span
 	rndv    bool
 	done    bool
+	// pooled marks a request that never escapes its blocking caller:
+	// waitOne returns it to the rank's free list once complete.
+	pooled bool
 
 	matched *inMsg // receives: the arrival this request is bound to
 	status  Status
+}
+
+// newRequest takes a zeroed Request from the rank's free list, allocating
+// only on a pool miss. Requests are owned by their rank's shard, so the
+// per-rank pool needs no locking even in scale mode.
+func (ps *procState) newRequest() *Request {
+	if n := len(ps.reqFree); n > 0 {
+		r := ps.reqFree[n-1]
+		ps.reqFree[n-1] = nil
+		ps.reqFree = ps.reqFree[:n-1]
+		return r
+	}
+	ps.reqAllocs++
+	return &Request{}
+}
+
+// releaseReq zeroes a completed pooled request and returns it to the free
+// list. Only waitOne calls it, and only for requests flagged pooled — a
+// request handed to the user (Isend/Irecv) is never recycled.
+func (ps *procState) releaseReq(r *Request) {
+	*r = Request{}
+	ps.reqFree = append(ps.reqFree, r)
 }
 
 // Done reports whether the operation has completed (MPI_Test without the

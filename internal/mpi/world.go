@@ -127,8 +127,14 @@ type World struct {
 	eng   *sim.Engine
 	cfg   Config
 	procs []*procState
-	shm   map[int]*shmem.Channel
-	met   *metrics.Registry
+	// shm holds one intra-node channel per node hosting a rank, indexed by
+	// node (nil entries for unused nodes). A dense slice: the intra-node
+	// send path resolves it per message.
+	shm []*shmem.Channel
+	// worldRanks is the shared identity rank list behind every rank's cached
+	// CommWorld view; read-only after construction.
+	worldRanks []int
+	met        *metrics.Registry
 	rec   *msgtrace.Recorder
 	start sim.Time
 	end   sim.Time
@@ -204,10 +210,14 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{
 		eng:         cfg.Net.Engine(),
 		cfg:         cfg,
-		shm:         make(map[int]*shmem.Channel),
+		shm:         make([]*shmem.Channel, cfg.Net.Nodes()),
 		met:         cfg.Metrics,
 		commIDs:     make(map[string]int),
 		splitBoards: make(map[[2]int]map[int][2]int),
+	}
+	w.worldRanks = make([]int, cfg.Procs)
+	for i := range w.worldRanks {
+		w.worldRanks[i] = i
 	}
 	// Scale (node-domain) mode: only for domain-capable networks under a
 	// domain-clean configuration — no timeline, metrics or span tracing,
@@ -252,23 +262,23 @@ func NewWorld(cfg Config) (*World, error) {
 	if sc, ok := cfg.Net.(shmemConfigurer); ok {
 		shmCfg = sc.ShmemConfig()
 	}
+	w.procs = make([]*procState, 0, cfg.Procs)
 	for r := 0; r < cfg.Procs; r++ {
 		node := w.nodeOf(r)
-		if _, ok := w.shm[node]; !ok {
+		if w.shm[node] == nil {
 			ch := shmem.New(w.engFor(node), shmCfg)
 			ch.Instrument(w.met, node)
 			w.shm[node] = ch
 		}
 		ps := &procState{
-			world:    w,
-			eng:      w.engFor(node),
-			rank:     r,
-			node:     node,
-			ep:       cfg.Net.NewEndpoint(node),
-			as:       memreg.NewAddressSpace(),
-			prof:     trace.New(),
-			splitGen: make(map[int]int),
-			waitWhy:  fmt.Sprintf("rank%d:wait", r),
+			world:   w,
+			eng:     w.engFor(node),
+			rank:    r,
+			node:    node,
+			ep:      cfg.Net.NewEndpoint(node),
+			as:      memreg.NewAddressSpace(),
+			prof:    trace.New(),
+			waitWhy: fmt.Sprintf("rank%d:wait", r),
 		}
 		ps.bindMetrics(w.met)
 		// Route permanent device failures (retry exhaustion under a fault
@@ -535,15 +545,22 @@ func (w *World) AggregateProfile() *trace.Profile {
 // MPI library (the quantity behind the paper's host-overhead figure).
 func (w *World) HostBusy(rank int) sim.Time { return w.procs[rank].hostBusy }
 
-// MemoryUsage returns the library + device memory footprint of one rank
-// once fully connected (Figure 13's quantity). It comprises the device's
-// per-connection resources and shared-memory segments toward co-located
-// ranks.
+// MemoryUsage returns the library + device memory footprint of one rank:
+// the device's per-connection resources plus shared-memory segments toward
+// co-located ranks. Classic worlds report the fully connected footprint —
+// Figure 13's quantity, where every rank pair holds static RC state. Scale
+// (node-domain) worlds account established connections instead: the rank
+// pairs that actually exchanged NIC traffic, which is what a thousand-rank
+// job's memory looks like in practice (the paper's Section 3.8 argument) —
+// a 1024-rank neighbor exchange holds a few peers' state, not 1023.
 func (w *World) MemoryUsage(rank int) int64 {
 	ps := w.procs[rank]
 	peers := w.cfg.Procs - 1
+	if w.scale {
+		peers = ps.nicPeerCount
+	}
 	mem := ps.ep.MemoryUsage(peers)
-	if ch, ok := w.shm[ps.node]; ok {
+	if ch := w.shm[ps.node]; ch != nil {
 		co := 0
 		for r := 0; r < w.cfg.Procs; r++ {
 			if r != rank && w.nodeOf(r) == ps.node {
@@ -566,9 +583,6 @@ func (w *World) Utilizations() []dev.Utilization {
 
 // shmemBelow is the interconnect's intra-node channel policy.
 func (w *World) shmemBelow() int64 {
-	if len(w.shm) == 0 {
-		return 0
-	}
 	return w.cfg.Net.ShmemBelow()
 }
 

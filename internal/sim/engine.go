@@ -283,14 +283,16 @@ type Engine struct {
 
 	// Shard membership (nil/zero for a plain serial engine). owner is the
 	// conservative group scheduler this engine belongs to, shard its index
-	// in the group. windowCap/windowLA are live only inside a runWindow
-	// dispatch: windowCap is the exclusive upper time bound of the window
-	// (shrunk by SendTo in solo-shard windows), windowLA the group's
-	// minimum cross-shard lookahead.
+	// in the group. windowCap is live only inside a runWindow dispatch: the
+	// exclusive upper time bound of the window, shrunk by SendTo mid-window.
+	// echoDist[dst] is this engine's column of the group's lookahead
+	// distance matrix — how soon anything shard dst does can causally reach
+	// this shard — set by the group scheduler before dispatch begins (nil
+	// for a serial engine).
 	owner     *Sharded
 	shard     int
 	windowCap Time
-	windowLA  Time
+	echoDist  []Time
 }
 
 // New returns an empty engine with the clock at zero.
@@ -548,15 +550,15 @@ func (e *Engine) nextEventAt() (Time, bool) {
 // drained queue, and returns a captured process failure instead of
 // panicking, so the group coordinator can re-raise the lowest shard's
 // failure deterministically. The cap is read afresh each iteration because
-// SendTo shrinks it mid-window when a solo shard emits a cross-shard send
-// (the earliest possible causal echo is sendAt + lookahead).
-func (e *Engine) runWindow(cap Time, la Time) (failure interface{}) {
+// SendTo shrinks it mid-window on every cross-shard send (the earliest
+// possible causal echo is the send's arrival plus the lookahead distance
+// back from its destination).
+func (e *Engine) runWindow(cap Time) (failure interface{}) {
 	if e.running {
 		panic("sim: Run re-entered")
 	}
 	e.running = true
 	e.windowCap = cap
-	e.windowLA = la
 	defer func() { e.running = false }()
 	for {
 		var ev event
@@ -635,11 +637,14 @@ func (e *Engine) SendTo(dst int, delay Time, h Handler, a, b int64) {
 	e.seq++
 	s.outbox[e.shard] = append(s.outbox[e.shard],
 		xmsg{at: at, src: e.shard, srcSeq: e.seq, dst: dst, a: a, b: b, h: h})
-	// A solo shard runs an unbounded window; its first cross-shard send
-	// bounds it again: the earliest event the destination could echo back
-	// lands at sendAt + lookahead, so dispatch past that point is unsafe.
-	if e.running && e.windowLA > 0 {
-		if c := at + e.windowLA; c < e.windowCap {
+	// Every cross-shard send re-bounds the live window: the earliest event
+	// this message could cause to reach back here — directly or through any
+	// relay chain — lands at its arrival plus the lookahead distance from
+	// the destination, so dispatch past that point is unsafe. This is what
+	// keeps unbounded solo windows and the per-shard caps honest against
+	// echoes through shards that held no events at planning time.
+	if e.running && e.echoDist != nil {
+		if c := at + e.echoDist[dst]; c < e.windowCap {
 			e.windowCap = c
 		}
 	}

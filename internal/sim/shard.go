@@ -2,18 +2,31 @@
 // engines (shards) in lockstep windows bounded by cross-shard lookahead.
 //
 // The synchronization protocol is the classic bounded-time-window scheme
-// (YAWNS-style). Each round the coordinator finds T, the earliest pending
-// event across all shards, and lets every shard dispatch its events in the
-// half-open window [T, T+L), where L is the minimum lookahead over all
-// cross-shard edges. Any message a shard emits during the window carries a
-// delay of at least its edge's lookahead, so it lands at or after T+L —
-// strictly outside the window — which makes intra-window dispatch on
-// different shards causally independent and therefore safe to run on
-// separate goroutines. At the window barrier the buffered cross-shard
-// messages are committed in (at, source shard, source sequence) order; the
-// destination stamps its own fresh sequence numbers in that order, so the
-// merged event order is a pure function of the model and the byte-identical
-// replay contract holds at every shard count.
+// (YAWNS-style), refined with per-shard window caps. Each round the
+// coordinator reads every shard's next event time t_j and gives shard i the
+// half-open window [t_i, cap_i), where
+//
+//	cap_i = min over populated shards j != i of (t_j + D(j, i))
+//
+// and D is the all-pairs minimum lookahead distance over the edge graph
+// (built by one Floyd-Warshall pass per Run). D(j, i) bounds how soon
+// anything shard j dispatches can causally reach shard i along any relay
+// chain, because cross-shard messages are buffered until the window
+// barrier: within a window a shard only consumes events it already held, so
+// a chain j -> k -> i spans at least one barrier per hop and accumulates at
+// least the lookahead of every edge it rides. Messages a shard sends
+// mid-window re-bound its own cap (SendTo shrinks it to the send's arrival
+// plus the distance back), which covers echoes through shards that looked
+// empty at planning time. Shards whose next event lies at or beyond their
+// cap skip the window entirely — no worker wake, no barrier participation —
+// so loosely coupled shard pairs coalesce many tight global windows into
+// few wide per-shard ones.
+//
+// At the window barrier the buffered cross-shard messages are committed in
+// (at, source shard, source sequence) order; the destination stamps its own
+// fresh sequence numbers in that order, so the merged event order is a pure
+// function of the model and the byte-identical replay contract holds at
+// every shard count.
 //
 // When only one shard has pending events there is nothing to synchronize
 // with: the solo shard runs an unbounded window, dynamically re-bounded by
@@ -28,8 +41,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mpinet/internal/metrics"
 )
@@ -64,6 +78,14 @@ type Sharded struct {
 	outbox [][]xmsg
 	inbox  []xmsg // commit scratch, reused across windows
 
+	// dmat is the all-pairs minimum lookahead distance (len n*n, row-major
+	// [src][dst]), rebuilt by each Run from the edge configuration; nexts and
+	// caps are the per-window planning scratch (shard → next event time /
+	// window cap), reused across windows.
+	dmat  []Time
+	nexts []Time
+	caps  []Time
+
 	workers []shardWorker
 	await   []int // worker shard indices launched this window (scratch)
 	windows uint64
@@ -80,7 +102,6 @@ type shardWorker struct {
 
 type windowBounds struct {
 	cap Time
-	la  Time
 }
 
 // NewSharded returns a group of n engines with the given default lookahead
@@ -198,6 +219,7 @@ func (s *Sharded) RunUntil(limit Time) error {
 	if la <= 0 {
 		return &ZeroLookaheadError{Src: lsrc, Dst: ldst, Lookahead: la}
 	}
+	s.buildDistances()
 
 	s.startWorkers()
 	defer s.stopWorkers()
@@ -207,12 +229,16 @@ func (s *Sharded) RunUntil(limit Time) error {
 		// active counts shards that hold any events at all.
 		T := maxTime
 		active := 0
-		for _, e := range s.shards {
-			if t, ok := e.nextEventAt(); ok {
-				active++
-				if t < T {
-					T = t
-				}
+		for i, e := range s.shards {
+			t, ok := e.nextEventAt()
+			if !ok {
+				s.nexts[i] = maxTime
+				continue
+			}
+			s.nexts[i] = t
+			active++
+			if t < T {
+				T = t
 			}
 		}
 		if T == maxTime {
@@ -224,15 +250,35 @@ func (s *Sharded) RunUntil(limit Time) error {
 			}
 			return nil
 		}
-		cap := maxTime
-		if active > 1 {
-			cap = T + la
-		}
-		if limit >= 0 && (cap < 0 || cap > limit) {
-			cap = limit + 1 // events at exactly limit run; cap is exclusive
+		// Per-shard caps: each populated shard may run to the earliest
+		// instant another populated shard could causally touch it. The shard
+		// holding T always has t_i < cap_i (distances are positive), so every
+		// window makes progress; shards capped at or below their next event
+		// skip the window entirely.
+		n := len(s.shards)
+		for i := range s.caps {
+			if s.nexts[i] == maxTime {
+				s.caps[i] = 0
+				continue
+			}
+			c := maxTime
+			if active > 1 {
+				for j := 0; j < n; j++ {
+					if j == i || s.nexts[j] == maxTime {
+						continue
+					}
+					if v := s.nexts[j] + s.dmat[j*n+i]; v < c {
+						c = v
+					}
+				}
+			}
+			if limit >= 0 && (c < 0 || c > limit) {
+				c = limit + 1 // events at exactly limit run; cap is exclusive
+			}
+			s.caps[i] = c
 		}
 		s.windows++
-		s.runWindow(cap, la)
+		s.runWindow()
 		s.commit()
 	}
 
@@ -249,35 +295,79 @@ func (s *Sharded) RunUntil(limit Time) error {
 		}
 	}
 	if len(names) > 0 {
-		sort.Strings(names)
+		slices.Sort(names)
 		return &DeadlockError{At: at, Procs: names}
 	}
 	return nil
 }
 
-// runWindow dispatches one window on every shard that holds an event before
-// cap: the lowest-numbered participant inline on the coordinator goroutine,
-// the rest on their persistent workers. Failures are collected and the
-// lowest-numbered shard's is re-panicked, matching the serial engine's
-// panic-out-of-Run behavior deterministically.
-func (s *Sharded) runWindow(cap, la Time) {
+// buildDistances computes the all-pairs minimum lookahead distance over the
+// cross-shard edge graph (one Floyd-Warshall pass — shard counts are small)
+// and hands every engine its echo-distance column. dmat[j*n+i] bounds how
+// soon anything shard j does can causally reach shard i along any relay
+// chain: every hop of such a chain crosses a window barrier and pays its
+// edge's lookahead. Rebuilt per Run so SetLookahead/SetEdgeLookahead between
+// runs take effect.
+func (s *Sharded) buildDistances() {
+	n := len(s.shards)
+	if s.dmat == nil {
+		s.dmat = make([]Time, n*n)
+		s.nexts = make([]Time, n)
+		s.caps = make([]Time, n)
+	}
+	d := s.dmat
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				d[i*n+j] = 0
+			} else {
+				d[i*n+j] = s.edgeLookahead(i, j)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i*n+k]
+			row := d[k*n : k*n+n]
+			for j, dkj := range row {
+				if v := dik + dkj; v < d[i*n+j] {
+					d[i*n+j] = v
+				}
+			}
+		}
+	}
+	for i, e := range s.shards {
+		if e.echoDist == nil {
+			e.echoDist = make([]Time, n)
+		}
+		for dst := 0; dst < n; dst++ {
+			e.echoDist[dst] = d[dst*n+i]
+		}
+	}
+}
+
+// runWindow dispatches one window on every shard whose next event lies
+// before its cap: the lowest-numbered participant inline on the coordinator
+// goroutine, the rest on their persistent workers. Failures are collected
+// and the lowest-numbered shard's is re-panicked, matching the serial
+// engine's panic-out-of-Run behavior deterministically.
+func (s *Sharded) runWindow() {
 	inline := -1
 	s.await = s.await[:0]
-	for i, e := range s.shards {
-		t, ok := e.nextEventAt()
-		if !ok || t >= cap {
+	for i := range s.shards {
+		if s.nexts[i] >= s.caps[i] {
 			continue
 		}
 		if inline < 0 {
 			inline = i
 			continue
 		}
-		s.workers[i].start <- windowBounds{cap: cap, la: la}
+		s.workers[i].start <- windowBounds{cap: s.caps[i]}
 		s.await = append(s.await, i)
 	}
 	failShard := -1
 	var failure interface{}
-	if f := s.shards[inline].runWindow(cap, la); f != nil {
+	if f := s.shards[inline].runWindow(s.caps[inline]); f != nil {
 		failShard, failure = inline, f
 	}
 	for _, i := range s.await {
@@ -303,16 +393,10 @@ func (s *Sharded) commit() {
 	if len(s.inbox) == 0 {
 		return
 	}
-	sort.Slice(s.inbox, func(a, b int) bool {
-		ma, mb := &s.inbox[a], &s.inbox[b]
-		if ma.at != mb.at {
-			return ma.at < mb.at
-		}
-		if ma.src != mb.src {
-			return ma.src < mb.src
-		}
-		return ma.srcSeq < mb.srcSeq
-	})
+	// slices.SortFunc with a package-level comparator: unlike a sort.Slice
+	// closure this allocates nothing, and the commit path runs once per
+	// window edge on the coordinator's critical path.
+	slices.SortFunc(s.inbox, cmpXmsg)
 	for i := range s.inbox {
 		m := &s.inbox[i]
 		d := s.shards[m.dst]
@@ -324,6 +408,18 @@ func (s *Sharded) commit() {
 		d.enqueue(event{at: m.at, a: m.a, b: m.b, h: m.h})
 		*m = xmsg{} // release the handler reference
 	}
+}
+
+// cmpXmsg is commit's total order: (at, source shard, source sequence) — a
+// pure function of the model, independent of goroutine interleaving.
+func cmpXmsg(a, b xmsg) int {
+	if c := cmp.Compare(a.at, b.at); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.src, b.src); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.srcSeq, b.srcSeq)
 }
 
 // startWorkers launches one persistent dispatch goroutine per shard. A
@@ -338,7 +434,7 @@ func (s *Sharded) startWorkers() {
 		}
 		go func(e *Engine, w shardWorker) {
 			for b := range w.start {
-				w.done <- e.runWindow(b.cap, b.la)
+				w.done <- e.runWindow(b.cap)
 			}
 		}(s.shards[i], s.workers[i])
 	}

@@ -11,11 +11,16 @@ import (
 // a genuinely partitioned workload: 8 node domains plus the switch domain,
 // cross-domain hops at exactly the lookahead, and a chain of local compute
 // events between receive and forward (the window's parallel grain). The
-// shards=1 case is the serial fast path — the overhead baseline — and
-// scripts/bench.sh stamps the events/sec of every shard count into
-// BENCH_engine.json's shard_scaling block. On a single-CPU host the higher
-// shard counts measure scheduler overhead, not speedup; bench.sh reports
-// the 4-shard speedup as null with a reason there.
+// shards=1 case is the serial fast path — the overhead baseline. Besides
+// events/s, each shard count reports its window count (the scheduler's
+// synchronization overhead: fewer windows per run means wider, better
+// coalesced dispatch grains) and allocs/op (the commit path and planning
+// scratch are pooled; steady-state windows must not allocate per window).
+// scripts/bench.sh stamps all three per shard count into BENCH_engine.json's
+// shard_scaling block. Cross-shard-count throughput ratios are hardware
+// statements, not model statements — on a single-CPU host they measure
+// scheduler overhead — so bench.sh records the raw per-count numbers and no
+// speedup ratio.
 func BenchmarkShardScaling(b *testing.B) {
 	const (
 		nodes  = 8
@@ -26,7 +31,8 @@ func BenchmarkShardScaling(b *testing.B) {
 	)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			var events uint64
+			var events, windows uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				nt := buildShardNet(shards, nodes, ops, rounds, hop, step)
@@ -34,10 +40,12 @@ func BenchmarkShardScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 				events += nt.s.Dispatched()
+				windows += nt.s.Windows()
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
 		})
 	}
 }

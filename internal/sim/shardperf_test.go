@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// TestCrossShardCommitZeroAlloc pins the batched cross-shard commit path:
+// once the per-shard outbox/inbox buffers and the destination event queues
+// have warmed up, a steady-state round of cross-shard traffic (node →
+// switch → node through SendTo, window barrier, sorted commit) must not
+// allocate. The comparator-based commit sort and the recycled xmsg buffers
+// are exactly what this guards — before the scale overhaul each window's
+// sort closure and append churn allocated per message.
+func TestCrossShardCommitZeroAlloc(t *testing.T) {
+	// Worker goroutines add a nondeterministic trickle of runtime-side
+	// allocations (stack growth, wake bookkeeping) that amortizes below
+	// 0.01/round; the gate sits an order of magnitude under
+	// one-alloc-per-message so a per-xmsg or per-window allocation
+	// regression still trips while runtime noise does not.
+	for _, shards := range []int{2, 4} {
+		per := perCycleAllocs(t, 8, 520, func(rounds int) {
+			nt := buildShardNet(shards, 4, 2, rounds, 100, 10)
+			if err := nt.s.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if per > 0.05 {
+			t.Errorf("%d-shard cross-shard round allocates %.4f per round, want amortized 0", shards, per)
+		}
+	}
+}

@@ -250,6 +250,11 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // Name implements dev.Network.
 func (n *Network) Name() string { return "IBA" }
 
+// Topology exposes the wired fabric topology — a debug surface for tests
+// that flip fabric-level verification knobs (e.g. fabric.(*Clos).SetRouteCache)
+// on a built network.
+func (n *Network) Topology() fabric.Topology { return n.topo }
+
 // Engine implements dev.Network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
@@ -427,9 +432,6 @@ type endpoint struct {
 	node int
 	pin  *memreg.PinCache
 
-	// connected tracks established RC connections under on-demand mode.
-	connected map[int]bool
-
 	// sink receives permanent transfer failures (dev.FaultReporter).
 	sink func(error)
 	// onRetry observes each individual retransmit (dev.RetryReporter).
@@ -441,20 +443,39 @@ type endpoint struct {
 	retries     *metrics.Counter
 	retryErrors *metrics.Counter
 
-	// paths caches the assembled hardware path per destination under
-	// deterministic routing: the stage list for a (src, dst) pair never
-	// changes, so rebuilding it per message would only feed the allocator.
-	// Small worlds use the dense slice (hot-path index, zero-alloc gated);
-	// large worlds fill pathMap lazily so a 4k-node world costs each
-	// endpoint only the peers it actually speaks to, not O(N) slots.
-	// Adaptive routing bypasses both — the up-link choice is per message.
-	paths   [][]fabric.PathStage
-	pathMap map[int][]fabric.PathStage
+	// peers holds the resolved per-destination send state: the assembled
+	// hardware path (the stage list for a (src, dst) pair never changes
+	// under deterministic routing), its source-side stage count, and the
+	// RC-connection flag for on-demand mode. One dense slice of lazily
+	// materialized blocks: the hot path is a single index — no map lookups —
+	// while an endpoint in a 4k-node world still only pays for the peers it
+	// actually speaks to. Adaptive routing bypasses the cached path (the
+	// up-link choice is per message) but keeps using the connection flag.
+	peers []*peerState
+	// nconn counts established RC connections under on-demand mode.
+	nconn int
 }
 
-// densePathNodes is the world size up to which per-destination path caches
-// stay dense arrays; above it they switch to lazy maps.
-const densePathNodes = 128
+// peerState is one destination's resolved send state.
+type peerState struct {
+	path      []fabric.PathStage
+	srcStages int
+	connected bool
+}
+
+// peer returns dst's state block, materializing it (and the index slice)
+// on first contact.
+func (ep *endpoint) peer(dst int) *peerState {
+	if ep.peers == nil {
+		ep.peers = make([]*peerState, len(ep.net.nodes))
+	}
+	p := ep.peers[dst]
+	if p == nil {
+		p = &peerState{}
+		ep.peers[dst] = p
+	}
+	return p
+}
 
 // OnFault implements dev.FaultReporter.
 func (ep *endpoint) OnFault(sink func(error)) { ep.sink = sink }
@@ -514,7 +535,7 @@ func (ep *endpoint) AcquireBuf(b memreg.Buf) sim.Time {
 func (ep *endpoint) MemoryUsage(npeers int) int64 {
 	if ep.net.cfg.OnDemandConnections {
 		// Only established connections hold buffer resources.
-		return memBase + int64(len(ep.connected))*memPerPeer
+		return memBase + int64(ep.nconn)*memPerPeer
 	}
 	return memBase + int64(npeers)*memPerPeer
 }
@@ -525,13 +546,12 @@ func (ep *endpoint) connect(dst int) sim.Time {
 	if !ep.net.cfg.OnDemandConnections || dst == ep.node {
 		return 0
 	}
-	if ep.connected == nil {
-		ep.connected = make(map[int]bool)
-	}
-	if ep.connected[dst] {
+	p := ep.peer(dst)
+	if p.connected {
 		return 0
 	}
-	ep.connected[dst] = true
+	p.connected = true
+	ep.nconn++
 	ep.connSetups.Inc()
 	return connSetup
 }
@@ -549,32 +569,28 @@ func (ep *endpoint) pioPenalty() sim.Time {
 }
 
 // path returns the staged hardware path to dst, assembled once per
-// destination and cached — except under adaptive routing, where the fabric
-// picks the up-link per message and the path must be rebuilt.
+// destination and cached in the peer block — except under adaptive routing,
+// where the fabric picks the up-link per message and the path must be
+// rebuilt.
 func (ep *endpoint) path(dst int) []fabric.PathStage {
-	if ep.net.dynamic && dst != ep.node {
-		return ep.buildPath(dst)
-	}
-	if len(ep.net.nodes) <= densePathNodes {
-		if ep.paths == nil {
-			ep.paths = make([][]fabric.PathStage, len(ep.net.nodes))
-		}
-		if p := ep.paths[dst]; p != nil {
-			return p
-		}
-		p := ep.buildPath(dst)
-		ep.paths[dst] = p
-		return p
-	}
-	if p, ok := ep.pathMap[dst]; ok {
-		return p
-	}
-	if ep.pathMap == nil {
-		ep.pathMap = make(map[int][]fabric.PathStage)
-	}
-	p := ep.buildPath(dst)
-	ep.pathMap[dst] = p
+	p, _ := ep.resolved(dst)
 	return p
+}
+
+// resolved returns the staged path to dst and its source-side stage count —
+// bus, HCA TX and link up, plus whatever the topology keeps on the source
+// leaf (TransferCut runs those on the source's domain engine). Both are
+// cached in the peer block; adaptive routing rebuilds the path per message.
+func (ep *endpoint) resolved(dst int) ([]fabric.PathStage, int) {
+	if ep.net.dynamic && dst != ep.node {
+		return ep.buildPath(dst), 3 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+	}
+	p := ep.peer(dst)
+	if p.path == nil {
+		p.path = ep.buildPath(dst)
+		p.srcStages = 3 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
+	}
+	return p.path, p.srcStages
 }
 
 // buildPath assembles the staged hardware path to dst. The fabric is cut-
@@ -607,13 +623,6 @@ func (ep *endpoint) buildPath(dst int) []fabric.PathStage {
 	)
 }
 
-// srcStages is the count of source-side stages of a cross-node path —
-// bus, HCA TX and link up, plus whatever the topology keeps on the source
-// leaf. TransferCut runs them on the source's domain engine.
-func (ep *endpoint) srcStages(dst int) int {
-	return 3 + fabric.SrcStagesOf(ep.net.topo, ep.node, dst)
-}
-
 func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 	if ep.net.scale {
 		// Domain mode: the attempt is fault-free by construction (activation
@@ -621,7 +630,8 @@ func (ep *endpoint) transfer(dst int, size int64, deliver func()) {
 		// wire so each node's hardware state stays on its own engine.
 		eng := ep.net.engineFor(ep.node)
 		start := eng.Now() + ep.connect(dst)
-		fabric.TransferCut(eng, ep.net.engineFor(dst), ep.path(dst), ep.srcStages(dst),
+		path, srcN := ep.resolved(dst)
+		fabric.TransferCut(eng, ep.net.engineFor(dst), path, srcN,
 			size, fabric.ChunkFor(size), start, func(sim.Time) { deliver() })
 		return
 	}
